@@ -1,0 +1,48 @@
+#include "context/distance.h"
+
+namespace ctxpref {
+
+const char* DistanceKindToString(DistanceKind kind) {
+  switch (kind) {
+    case DistanceKind::kHierarchy:
+      return "Hierarchy";
+    case DistanceKind::kJaccard:
+      return "Jaccard";
+  }
+  return "Unknown";
+}
+
+double HierarchyStateDistance(const ContextEnvironment& env,
+                              const ContextState& s1, const ContextState& s2) {
+  assert(s1.size() == env.size() && s2.size() == env.size());
+  double sum = 0;
+  for (size_t i = 0; i < env.size(); ++i) {
+    sum += env.parameter(i).hierarchy().LevelDistance(s1.value(i).level,
+                                                      s2.value(i).level);
+  }
+  return sum;
+}
+
+double JaccardStateDistance(const ContextEnvironment& env,
+                            const ContextState& s1, const ContextState& s2) {
+  assert(s1.size() == env.size() && s2.size() == env.size());
+  double sum = 0;
+  for (size_t i = 0; i < env.size(); ++i) {
+    sum +=
+        env.parameter(i).hierarchy().JaccardDistance(s1.value(i), s2.value(i));
+  }
+  return sum;
+}
+
+double StateDistance(DistanceKind kind, const ContextEnvironment& env,
+                     const ContextState& s1, const ContextState& s2) {
+  switch (kind) {
+    case DistanceKind::kHierarchy:
+      return HierarchyStateDistance(env, s1, s2);
+    case DistanceKind::kJaccard:
+      return JaccardStateDistance(env, s1, s2);
+  }
+  return kInfiniteDistance;
+}
+
+}  // namespace ctxpref

@@ -1,0 +1,56 @@
+#include "context/environment.h"
+
+#include <limits>
+#include <set>
+
+namespace ctxpref {
+
+StatusOr<EnvironmentPtr> ContextEnvironment::Create(
+    std::vector<ContextParameter> parameters) {
+  if (parameters.empty()) {
+    return Status::InvalidArgument("context environment has no parameters");
+  }
+  std::set<std::string_view> names;
+  for (const ContextParameter& p : parameters) {
+    if (!names.insert(p.name()).second) {
+      return Status::InvalidArgument("duplicate context parameter '" +
+                                     p.name() + "'");
+    }
+  }
+  return EnvironmentPtr(new ContextEnvironment(std::move(parameters)));
+}
+
+StatusOr<size_t> ContextEnvironment::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    if (parameters_[i].name() == name) return i;
+  }
+  return Status::NotFound("no context parameter named '" + std::string(name) +
+                          "'");
+}
+
+namespace {
+size_t SaturatingMul(size_t a, size_t b) {
+  if (a != 0 && b > std::numeric_limits<size_t>::max() / a) {
+    return std::numeric_limits<size_t>::max();
+  }
+  return a * b;
+}
+}  // namespace
+
+size_t ContextEnvironment::WorldSize() const {
+  size_t out = 1;
+  for (const auto& p : parameters_) {
+    out = SaturatingMul(out, p.hierarchy().level_size(0));
+  }
+  return out;
+}
+
+size_t ContextEnvironment::ExtendedWorldSize() const {
+  size_t out = 1;
+  for (const auto& p : parameters_) {
+    out = SaturatingMul(out, p.hierarchy().extended_domain_size());
+  }
+  return out;
+}
+
+}  // namespace ctxpref

@@ -1,0 +1,57 @@
+#ifndef CTXPREF_CONTEXT_ENVIRONMENT_H_
+#define CTXPREF_CONTEXT_ENVIRONMENT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "context/parameter.h"
+#include "util/status.h"
+
+namespace ctxpref {
+
+/// The context environment CE_X of an application (paper §3.1): an
+/// ordered, fixed set of context parameters {C1, ..., Cn}. The order
+/// is the canonical component order of context states; index structures
+/// may remap parameters to tree levels independently (see
+/// `preference/ordering.h`).
+///
+/// Immutable after construction; shared via `EnvironmentPtr`.
+class ContextEnvironment {
+ public:
+  /// Errors with InvalidArgument on empty or duplicate parameter names.
+  static StatusOr<std::shared_ptr<const ContextEnvironment>> Create(
+      std::vector<ContextParameter> parameters);
+
+  /// Number of parameters n.
+  size_t size() const { return parameters_.size(); }
+
+  const ContextParameter& parameter(size_t i) const { return parameters_[i]; }
+  const std::vector<ContextParameter>& parameters() const {
+    return parameters_;
+  }
+
+  /// Index of the parameter named `name`; NotFound otherwise.
+  StatusOr<size_t> IndexOf(std::string_view name) const;
+
+  /// Cardinality of the world W = Π |dom(Ci)| (detailed domains).
+  /// Saturates at SIZE_MAX on overflow.
+  size_t WorldSize() const;
+
+  /// Cardinality of the extended world EW = Π |edom(Ci)|.
+  /// Saturates at SIZE_MAX on overflow.
+  size_t ExtendedWorldSize() const;
+
+ private:
+  explicit ContextEnvironment(std::vector<ContextParameter> parameters)
+      : parameters_(std::move(parameters)) {}
+
+  std::vector<ContextParameter> parameters_;
+};
+
+using EnvironmentPtr = std::shared_ptr<const ContextEnvironment>;
+
+}  // namespace ctxpref
+
+#endif  // CTXPREF_CONTEXT_ENVIRONMENT_H_

@@ -1,0 +1,33 @@
+#ifndef CTXPREF_CONTEXT_PARAMETER_H_
+#define CTXPREF_CONTEXT_PARAMETER_H_
+
+#include <string>
+#include <utility>
+
+#include "context/hierarchy.h"
+
+namespace ctxpref {
+
+/// A context parameter Ci (paper §3.1): a named multidimensional
+/// attribute whose extended domain is given by a `Hierarchy`. The
+/// parameter name may differ from the hierarchy name (e.g. parameter
+/// "temperature" over hierarchy "weather").
+class ContextParameter {
+ public:
+  ContextParameter(std::string name, HierarchyPtr hierarchy)
+      : name_(std::move(name)), hierarchy_(std::move(hierarchy)) {
+    assert(hierarchy_ != nullptr);
+  }
+
+  const std::string& name() const { return name_; }
+  const Hierarchy& hierarchy() const { return *hierarchy_; }
+  const HierarchyPtr& hierarchy_ptr() const { return hierarchy_; }
+
+ private:
+  std::string name_;
+  HierarchyPtr hierarchy_;
+};
+
+}  // namespace ctxpref
+
+#endif  // CTXPREF_CONTEXT_PARAMETER_H_

@@ -1,0 +1,328 @@
+#include "context/parser.h"
+
+#include <cctype>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace ctxpref {
+
+namespace {
+
+/// Token kinds produced by the scanner.
+enum class Tok {
+  kWord,    // bare identifier or value
+  kEquals,  // =
+  kLBrace,  // {
+  kRBrace,  // }
+  kLBrack,  // [
+  kRBrack,  // ]
+  kLParen,  // (
+  kRParen,  // )
+  kComma,   // ,
+  kColon,   // :
+  kAnd,     // keyword "and" (or "&&")
+  kOr,      // keyword "or" (or "||")
+  kIn,      // keyword "in"
+  kStar,    // *
+  kEnd,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+};
+
+class Scanner {
+ public:
+  explicit Scanner(std::string_view input) : input_(input) {}
+
+  StatusOr<std::vector<Token>> Scan() {
+    std::vector<Token> out;
+    size_t i = 0;
+    while (i < input_.size()) {
+      char c = input_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      switch (c) {
+        case '=':
+          out.push_back({Tok::kEquals, "="});
+          ++i;
+          continue;
+        case '{':
+          out.push_back({Tok::kLBrace, "{"});
+          ++i;
+          continue;
+        case '}':
+          out.push_back({Tok::kRBrace, "}"});
+          ++i;
+          continue;
+        case '[':
+          out.push_back({Tok::kLBrack, "["});
+          ++i;
+          continue;
+        case ']':
+          out.push_back({Tok::kRBrack, "]"});
+          ++i;
+          continue;
+        case '(':
+          out.push_back({Tok::kLParen, "("});
+          ++i;
+          continue;
+        case ')':
+          out.push_back({Tok::kRParen, ")"});
+          ++i;
+          continue;
+        case ',':
+          out.push_back({Tok::kComma, ","});
+          ++i;
+          continue;
+        case ':':
+          out.push_back({Tok::kColon, ":"});
+          ++i;
+          continue;
+        case '*':
+          out.push_back({Tok::kStar, "*"});
+          ++i;
+          continue;
+        case '&':
+          if (i + 1 < input_.size() && input_[i + 1] == '&') {
+            out.push_back({Tok::kAnd, "&&"});
+            i += 2;
+            continue;
+          }
+          return Status::Corruption("stray '&' in descriptor");
+        case '|':
+          if (i + 1 < input_.size() && input_[i + 1] == '|') {
+            out.push_back({Tok::kOr, "||"});
+            i += 2;
+            continue;
+          }
+          return Status::Corruption("stray '|' in descriptor");
+        default:
+          break;
+      }
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '-' || c == '.') {
+        size_t start = i;
+        while (i < input_.size()) {
+          char d = input_[i];
+          if (std::isalnum(static_cast<unsigned char>(d)) || d == '_' ||
+              d == '-' || d == '.') {
+            ++i;
+          } else {
+            break;
+          }
+        }
+        std::string word(input_.substr(start, i - start));
+        std::string lower = ToLower(word);
+        if (lower == "and") {
+          out.push_back({Tok::kAnd, word});
+        } else if (lower == "or") {
+          out.push_back({Tok::kOr, word});
+        } else if (lower == "in") {
+          out.push_back({Tok::kIn, word});
+        } else {
+          out.push_back({Tok::kWord, word});
+        }
+        continue;
+      }
+      return Status::Corruption(std::string("unexpected character '") + c +
+                                "' in descriptor");
+    }
+    out.push_back({Tok::kEnd, ""});
+    return out;
+  }
+
+ private:
+  std::string_view input_;
+};
+
+class Parser {
+ public:
+  Parser(const ContextEnvironment& env, std::vector<Token> tokens)
+      : env_(env), tokens_(std::move(tokens)) {}
+
+  StatusOr<ExtendedDescriptor> ParseExtended() {
+    std::vector<CompositeDescriptor> disjuncts;
+    for (;;) {
+      StatusOr<CompositeDescriptor> cod = ParseComposite();
+      if (!cod.ok()) return cod.status();
+      disjuncts.push_back(std::move(*cod));
+      if (Peek().kind == Tok::kOr) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    CTXPREF_RETURN_IF_ERROR(ExpectEnd());
+    return ExtendedDescriptor(std::move(disjuncts));
+  }
+
+  StatusOr<CompositeDescriptor> ParseCompositeWhole() {
+    StatusOr<CompositeDescriptor> cod = ParseComposite();
+    if (!cod.ok()) return cod.status();
+    CTXPREF_RETURN_IF_ERROR(ExpectEnd());
+    return cod;
+  }
+
+  StatusOr<ParameterDescriptor> ParseParameterWhole() {
+    StatusOr<ParameterDescriptor> pd = ParseParameter();
+    if (!pd.ok()) return pd.status();
+    CTXPREF_RETURN_IF_ERROR(ExpectEnd());
+    return pd;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status ExpectEnd() {
+    if (Peek().kind != Tok::kEnd) {
+      return Status::Corruption("trailing input after descriptor: '" +
+                                Peek().text + "'");
+    }
+    return Status::OK();
+  }
+
+  StatusOr<CompositeDescriptor> ParseComposite() {
+    bool parenthesized = false;
+    if (Peek().kind == Tok::kLParen) {
+      Advance();
+      parenthesized = true;
+    }
+    if (Peek().kind == Tok::kStar) {
+      Advance();
+      if (parenthesized) CTXPREF_RETURN_IF_ERROR(Expect(Tok::kRParen, ")"));
+      return CompositeDescriptor();
+    }
+    std::vector<ParameterDescriptor> parts;
+    for (;;) {
+      StatusOr<ParameterDescriptor> pd = ParseParameter();
+      if (!pd.ok()) return pd.status();
+      parts.push_back(std::move(*pd));
+      if (Peek().kind == Tok::kAnd) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (parenthesized) CTXPREF_RETURN_IF_ERROR(Expect(Tok::kRParen, ")"));
+    return CompositeDescriptor::Create(env_, std::move(parts));
+  }
+
+  StatusOr<ParameterDescriptor> ParseParameter() {
+    if (Peek().kind != Tok::kWord) {
+      return Status::Corruption("expected context parameter name, got '" +
+                                Peek().text + "'");
+    }
+    std::string param_name = Advance().text;
+    StatusOr<size_t> idx = env_.IndexOf(param_name);
+    if (!idx.ok()) return idx.status();
+    const size_t param = *idx;
+
+    if (Peek().kind == Tok::kEquals) {
+      Advance();
+      StatusOr<ValueRef> v = ParseValue(param);
+      if (!v.ok()) return v.status();
+      return ParameterDescriptor::Equals(env_, param, *v);
+    }
+    if (Peek().kind == Tok::kIn) {
+      Advance();
+      if (Peek().kind == Tok::kLBrace) {
+        Advance();
+        std::vector<ValueRef> values;
+        for (;;) {
+          StatusOr<ValueRef> v = ParseValue(param);
+          if (!v.ok()) return v.status();
+          values.push_back(*v);
+          if (Peek().kind == Tok::kComma) {
+            Advance();
+            continue;
+          }
+          break;
+        }
+        CTXPREF_RETURN_IF_ERROR(Expect(Tok::kRBrace, "}"));
+        return ParameterDescriptor::Set(env_, param, std::move(values));
+      }
+      if (Peek().kind == Tok::kLBrack) {
+        Advance();
+        StatusOr<ValueRef> lo = ParseValue(param);
+        if (!lo.ok()) return lo.status();
+        CTXPREF_RETURN_IF_ERROR(Expect(Tok::kComma, ","));
+        StatusOr<ValueRef> hi = ParseValue(param);
+        if (!hi.ok()) return hi.status();
+        CTXPREF_RETURN_IF_ERROR(Expect(Tok::kRBrack, "]"));
+        return ParameterDescriptor::Range(env_, param, *lo, *hi);
+      }
+      return Status::Corruption("expected '{' or '[' after 'in'");
+    }
+    return Status::Corruption("expected '=' or 'in' after parameter '" +
+                              param_name + "'");
+  }
+
+  /// value := WORD | WORD ":" WORD (level-qualified).
+  StatusOr<ValueRef> ParseValue(size_t param) {
+    if (Peek().kind != Tok::kWord) {
+      return Status::Corruption("expected value, got '" + Peek().text + "'");
+    }
+    std::string first = Advance().text;
+    const Hierarchy& h = env_.parameter(param).hierarchy();
+    if (Peek().kind == Tok::kColon) {
+      Advance();
+      if (Peek().kind != Tok::kWord) {
+        return Status::Corruption("expected value after level qualifier '" +
+                                  first + ":'");
+      }
+      std::string value = Advance().text;
+      StatusOr<LevelIndex> level = h.FindLevel(first);
+      if (!level.ok()) return level.status();
+      return h.Find(*level, value);
+    }
+    return h.FindAnyLevel(first);
+  }
+
+  Status Expect(Tok kind, const char* what) {
+    if (Peek().kind != kind) {
+      return Status::Corruption(std::string("expected '") + what +
+                                "', got '" + Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  const ContextEnvironment& env_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+StatusOr<std::vector<Token>> ScanAll(std::string_view text) {
+  return Scanner(text).Scan();
+}
+
+}  // namespace
+
+StatusOr<ParameterDescriptor> ParseParameterDescriptor(
+    const ContextEnvironment& env, std::string_view text) {
+  StatusOr<std::vector<Token>> tokens = ScanAll(text);
+  if (!tokens.ok()) return tokens.status();
+  return Parser(env, std::move(*tokens)).ParseParameterWhole();
+}
+
+StatusOr<CompositeDescriptor> ParseCompositeDescriptor(
+    const ContextEnvironment& env, std::string_view text) {
+  StatusOr<std::vector<Token>> tokens = ScanAll(text);
+  if (!tokens.ok()) return tokens.status();
+  return Parser(env, std::move(*tokens)).ParseCompositeWhole();
+}
+
+StatusOr<ExtendedDescriptor> ParseExtendedDescriptor(
+    const ContextEnvironment& env, std::string_view text) {
+  StatusOr<std::vector<Token>> tokens = ScanAll(text);
+  if (!tokens.ok()) return tokens.status();
+  return Parser(env, std::move(*tokens)).ParseExtended();
+}
+
+}  // namespace ctxpref

@@ -1,0 +1,45 @@
+#ifndef CTXPREF_CONTEXT_PARSER_H_
+#define CTXPREF_CONTEXT_PARSER_H_
+
+#include <string_view>
+
+#include "context/descriptor.h"
+#include "context/environment.h"
+#include "util/status.h"
+
+namespace ctxpref {
+
+/// Text syntax for context descriptors, used by examples, tests, and
+/// profile (de)serialization. Grammar (keywords case-insensitive):
+///
+///   extended  := composite ( "or" composite )*
+///   composite := "(" conj ")" | conj | "*"          -- "*" = empty cod
+///   conj      := pdesc ( "and" pdesc )*
+///   pdesc     := NAME "=" value
+///              | NAME "in" "{" value ("," value)* "}"
+///              | NAME "in" "[" value "," value "]"
+///   value     := WORD | LEVEL ":" WORD              -- qualified form
+///
+/// Unqualified values are resolved against the parameter's hierarchy
+/// searching levels detailed-first; the qualified form "City:Athens"
+/// pins the level when names repeat across levels.
+///
+/// Examples:
+///   location = Plaka and temperature in {warm, hot}
+///   (location = Athens and people = family) or (temperature in [mild, hot])
+
+/// Parses a single parameter descriptor, e.g. "temperature in {warm,hot}".
+StatusOr<ParameterDescriptor> ParseParameterDescriptor(
+    const ContextEnvironment& env, std::string_view text);
+
+/// Parses a conjunction (no "or"); "*" yields the empty descriptor.
+StatusOr<CompositeDescriptor> ParseCompositeDescriptor(
+    const ContextEnvironment& env, std::string_view text);
+
+/// Parses a disjunction of composites.
+StatusOr<ExtendedDescriptor> ParseExtendedDescriptor(
+    const ContextEnvironment& env, std::string_view text);
+
+}  // namespace ctxpref
+
+#endif  // CTXPREF_CONTEXT_PARSER_H_

@@ -1,0 +1,60 @@
+#include "context/source.h"
+
+namespace ctxpref {
+
+StatusOr<ValueRef> NoisySensorSource::Read() {
+  if (rng_.Bernoulli(dropout_)) {
+    return Status::NotFound("sensor for parameter " +
+                            env_->parameter(param_index_).name() +
+                            " dropped out");
+  }
+  const Hierarchy& h = env_->parameter(param_index_).hierarchy();
+  ValueRef v = true_value_;
+  if (rng_.Bernoulli(coarseness_) && v.level + 1 < h.num_levels()) {
+    // Report one or more levels up (limited accuracy).
+    const LevelIndex span = static_cast<LevelIndex>(
+        h.num_levels() - 1 - v.level);
+    const LevelIndex up = static_cast<LevelIndex>(1 + rng_.Uniform(span));
+    v = h.Anc(v, static_cast<LevelIndex>(v.level + up));
+  }
+  return v;
+}
+
+Status CurrentContext::AddSource(std::unique_ptr<ContextSource> source) {
+  if (source == nullptr) {
+    return Status::InvalidArgument("null context source");
+  }
+  if (source->param_index() >= env_->size()) {
+    return Status::InvalidArgument("source parameter index out of range");
+  }
+  for (const auto& s : sources_) {
+    if (s->param_index() == source->param_index()) {
+      return Status::AlreadyExists(
+          "parameter '" + env_->parameter(source->param_index()).name() +
+          "' already has a source");
+    }
+  }
+  sources_.push_back(std::move(source));
+  return Status::OK();
+}
+
+StatusOr<ContextState> CurrentContext::Snapshot() {
+  ContextState state = ContextState::AllState(*env_);
+  for (const auto& source : sources_) {
+    StatusOr<ValueRef> reading = source->Read();
+    if (!reading.ok()) {
+      if (reading.status().IsNotFound()) continue;  // Degrade to 'all'.
+      return reading.status();
+    }
+    const size_t param = source->param_index();
+    if (!env_->parameter(param).hierarchy().Contains(*reading)) {
+      return Status::InvalidArgument(
+          "source for parameter '" + env_->parameter(param).name() +
+          "' produced a value outside its extended domain");
+    }
+    state.set_value(param, *reading);
+  }
+  return state;
+}
+
+}  // namespace ctxpref

@@ -1,0 +1,106 @@
+#ifndef CTXPREF_CONTEXT_SOURCE_H_
+#define CTXPREF_CONTEXT_SOURCE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "context/environment.h"
+#include "context/state.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace ctxpref {
+
+/// Providers of the *implicit* query context (paper §4.1): "the
+/// context surrounding the user at the time of the submission of the
+/// query". The paper notes that sensed parameters may only be known
+/// roughly — "a context parameter may take a single value from a
+/// higher level of the hierarchy" — which these sources model
+/// directly: a source reports a `ValueRef` at whatever level its
+/// accuracy supports, and an unavailable source falls back to `all`.
+class ContextSource {
+ public:
+  virtual ~ContextSource() = default;
+
+  /// Index of the parameter this source feeds.
+  virtual size_t param_index() const = 0;
+
+  /// Current reading. NotFound = currently unavailable (the manager
+  /// substitutes `all`); other errors propagate.
+  virtual StatusOr<ValueRef> Read() = 0;
+};
+
+/// A source pinned to a fixed value — for tests, demos and manual
+/// context entry.
+class StaticSource : public ContextSource {
+ public:
+  StaticSource(size_t param_index, ValueRef value)
+      : param_index_(param_index), value_(value) {}
+
+  size_t param_index() const override { return param_index_; }
+  StatusOr<ValueRef> Read() override { return value_; }
+
+  void set_value(ValueRef v) { value_ = v; }
+
+ private:
+  size_t param_index_;
+  ValueRef value_;
+};
+
+/// A simulated sensor with limited accuracy: it knows the true
+/// detailed value but, per reading, reports it lifted to a coarser
+/// hierarchy level with probability `coarseness`, and fails (NotFound)
+/// with probability `dropout`. Deterministic under its seed.
+class NoisySensorSource : public ContextSource {
+ public:
+  NoisySensorSource(const ContextEnvironment& env, size_t param_index,
+                    ValueRef true_value, double coarseness, double dropout,
+                    uint64_t seed)
+      : env_(&env),
+        param_index_(param_index),
+        true_value_(true_value),
+        coarseness_(coarseness),
+        dropout_(dropout),
+        rng_(seed) {}
+
+  size_t param_index() const override { return param_index_; }
+  StatusOr<ValueRef> Read() override;
+
+  void set_true_value(ValueRef v) { true_value_ = v; }
+
+ private:
+  const ContextEnvironment* env_;
+  size_t param_index_;
+  ValueRef true_value_;
+  double coarseness_;
+  double dropout_;
+  Rng rng_;
+};
+
+/// Assembles the current context state from per-parameter sources.
+/// Parameters without a source (or whose source is unavailable) take
+/// the value `all` — exactly the paper's "absent parameter" semantics.
+class CurrentContext {
+ public:
+  explicit CurrentContext(EnvironmentPtr env) : env_(std::move(env)) {}
+
+  /// Registers `source` for its parameter; at most one source per
+  /// parameter (AlreadyExists otherwise).
+  Status AddSource(std::unique_ptr<ContextSource> source);
+
+  /// Reads every source and builds the current state. Unavailable
+  /// sources degrade to `all`; invalid readings (values outside the
+  /// parameter's domain) are InvalidArgument.
+  StatusOr<ContextState> Snapshot();
+
+  const ContextEnvironment& env() const { return *env_; }
+
+ private:
+  EnvironmentPtr env_;
+  std::vector<std::unique_ptr<ContextSource>> sources_;
+};
+
+}  // namespace ctxpref
+
+#endif  // CTXPREF_CONTEXT_SOURCE_H_

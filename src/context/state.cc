@@ -1,0 +1,94 @@
+#include "context/state.h"
+
+namespace ctxpref {
+
+ContextState ContextState::AllState(const ContextEnvironment& env) {
+  std::vector<ValueRef> values;
+  values.reserve(env.size());
+  for (size_t i = 0; i < env.size(); ++i) {
+    values.push_back(env.parameter(i).hierarchy().AllValue());
+  }
+  return ContextState(std::move(values));
+}
+
+StatusOr<ContextState> ContextState::FromNames(
+    const ContextEnvironment& env, const std::vector<std::string>& names) {
+  if (names.size() != env.size()) {
+    return Status::InvalidArgument(
+        "state has " + std::to_string(names.size()) + " components, expected " +
+        std::to_string(env.size()));
+  }
+  std::vector<ValueRef> values;
+  values.reserve(names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    StatusOr<ValueRef> v =
+        env.parameter(i).hierarchy().FindAnyLevel(names[i]);
+    if (!v.ok()) return v.status();
+    values.push_back(*v);
+  }
+  return ContextState(std::move(values));
+}
+
+Status ContextState::Validate(const ContextEnvironment& env) const {
+  if (values_.size() != env.size()) {
+    return Status::InvalidArgument(
+        "state has " + std::to_string(values_.size()) +
+        " components, expected " + std::to_string(env.size()));
+  }
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (!env.parameter(i).hierarchy().Contains(values_[i])) {
+      return Status::InvalidArgument("component " + std::to_string(i) +
+                                     " is not a value of parameter '" +
+                                     env.parameter(i).name() + "'");
+    }
+  }
+  return Status::OK();
+}
+
+bool ContextState::IsDetailed() const {
+  for (const ValueRef& v : values_) {
+    if (v.level != 0) return false;
+  }
+  return true;
+}
+
+bool ContextState::Covers(const ContextEnvironment& env,
+                          const ContextState& other) const {
+  assert(values_.size() == env.size());
+  assert(other.values_.size() == env.size());
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (!env.parameter(i).hierarchy().IsAncestorOrSelf(values_[i],
+                                                       other.values_[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ContextState::ToString(const ContextEnvironment& env) const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += env.parameter(i).hierarchy().value_name(values_[i]);
+  }
+  out += ")";
+  return out;
+}
+
+bool CoversSet(const ContextEnvironment& env,
+               const std::vector<ContextState>& s1,
+               const std::vector<ContextState>& s2) {
+  for (const ContextState& s : s2) {
+    bool covered = false;
+    for (const ContextState& t : s1) {
+      if (t.Covers(env, s)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+}  // namespace ctxpref

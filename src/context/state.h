@@ -1,0 +1,91 @@
+#ifndef CTXPREF_CONTEXT_STATE_H_
+#define CTXPREF_CONTEXT_STATE_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "context/environment.h"
+#include "context/hierarchy.h"
+#include "util/status.h"
+
+namespace ctxpref {
+
+/// An extended context state (paper §3.1): an n-tuple assigning each
+/// context parameter a value from its *extended* domain, i.e. from any
+/// hierarchy level. A state whose values all come from the detailed
+/// level is a (plain) context state, an element of the world W.
+///
+/// States are value types of n `ValueRef`s; they do not carry their
+/// environment — operations that need hierarchy information take a
+/// `const ContextEnvironment&`, keeping states cheap enough to be index
+/// keys (the profile tree stores one root-to-leaf path per state).
+class ContextState {
+ public:
+  ContextState() = default;
+
+  /// Takes the component values in environment order. The caller
+  /// guarantees size and validity match `env`; use `Validate` when the
+  /// source is untrusted.
+  explicit ContextState(std::vector<ValueRef> values)
+      : values_(std::move(values)) {}
+
+  /// The state (all, all, ..., all).
+  static ContextState AllState(const ContextEnvironment& env);
+
+  /// Builds a state from value names, resolving each against the
+  /// corresponding parameter's hierarchy (any level, detailed-first).
+  static StatusOr<ContextState> FromNames(
+      const ContextEnvironment& env, const std::vector<std::string>& names);
+
+  size_t size() const { return values_.size(); }
+  ValueRef value(size_t i) const { return values_[i]; }
+  void set_value(size_t i, ValueRef v) { values_[i] = v; }
+  const std::vector<ValueRef>& values() const { return values_; }
+
+  /// OK iff the state has one in-domain value per parameter of `env`.
+  Status Validate(const ContextEnvironment& env) const;
+
+  /// True iff every component is at the detailed level (the state is an
+  /// element of the world W, not just the extended world EW).
+  bool IsDetailed() const;
+
+  /// Paper Def. 10: this state covers `other` iff for every parameter
+  /// the component is equal to, or an ancestor of, `other`'s component.
+  /// Reflexive, antisymmetric, transitive (Theorem 1).
+  bool Covers(const ContextEnvironment& env, const ContextState& other) const;
+
+  /// "(Plaka, warm, friends)".
+  std::string ToString(const ContextEnvironment& env) const;
+
+  friend bool operator==(const ContextState&, const ContextState&) = default;
+  /// Lexicographic on (level, id) pairs; an arbitrary-but-stable total
+  /// order used for deterministic containers, NOT the covers order.
+  friend auto operator<=>(const ContextState&, const ContextState&) = default;
+
+ private:
+  std::vector<ValueRef> values_;
+};
+
+/// Hash functor for unordered containers keyed by state.
+struct ContextStateHash {
+  size_t operator()(const ContextState& s) const {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (const ValueRef& v : s.values()) {
+      h ^= (static_cast<size_t>(v.level) << 32) | v.id;
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+};
+
+/// Paper Def. 11: set S1 covers set S2 iff every s ∈ S2 has some
+/// s' ∈ S1 with s' covers s.
+bool CoversSet(const ContextEnvironment& env,
+               const std::vector<ContextState>& s1,
+               const std::vector<ContextState>& s2);
+
+}  // namespace ctxpref
+
+#endif  // CTXPREF_CONTEXT_STATE_H_

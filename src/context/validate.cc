@@ -1,0 +1,117 @@
+#include "context/validate.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ctxpref {
+
+namespace {
+
+Status Fail(const Hierarchy& h, const std::string& why) {
+  return Status::Corruption("hierarchy '" + h.name() + "': " + why);
+}
+
+}  // namespace
+
+Status ValidateHierarchyInvariants(const Hierarchy& h,
+                                   bool require_monotone) {
+  const LevelIndex m = h.num_levels();
+  if (m == 0) return Fail(h, "no levels");
+
+  // Top level is ALL/{all}.
+  if (h.level_name(h.all_level()) != "ALL" || h.level_size(h.all_level()) != 1) {
+    return Fail(h, "top level is not ALL with a single value");
+  }
+  if (h.value_name(h.AllValue()) != "all") {
+    return Fail(h, "ALL level's value is not 'all'");
+  }
+
+  size_t detailed_size = h.level_size(0);
+  for (LevelIndex l = 0; l < m; ++l) {
+    if (h.level_size(l) == 0) {
+      return Fail(h, "level " + std::string(h.level_name(l)) + " is empty");
+    }
+    // Distinct value names within the level.
+    std::set<std::string> names;
+    for (ValueId id = 0; id < h.level_size(l); ++id) {
+      if (!names.insert(h.value_name(ValueRef{l, id})).second) {
+        return Fail(h, "duplicate value name at level " + h.level_name(l));
+      }
+    }
+
+    // Detailed-descendant counts per level must sum to |dom_L1|.
+    size_t sum = 0;
+    for (ValueId id = 0; id < h.level_size(l); ++id) {
+      const size_t count = h.DetailedDescendantCount(ValueRef{l, id});
+      if (count == 0) {
+        return Fail(h, "value '" + h.value_name(ValueRef{l, id}) +
+                           "' has no detailed descendants");
+      }
+      sum += count;
+    }
+    if (sum != detailed_size) {
+      return Fail(h, "detailed counts at level " + h.level_name(l) + " sum to " +
+                         std::to_string(sum) + ", expected " +
+                         std::to_string(detailed_size));
+    }
+
+    if (l + 1 < m) {
+      // Parent/child agreement and monotonicity.
+      ValueId prev_parent = 0;
+      for (ValueId id = 0; id < h.level_size(l); ++id) {
+        const ValueRef child{l, id};
+        const ValueRef parent = h.Anc(child, static_cast<LevelIndex>(l + 1));
+        if (!h.Contains(parent)) {
+          return Fail(h, "anc of '" + h.value_name(child) +
+                             "' is outside the next level");
+        }
+        std::vector<ValueRef> kids = h.Desc(parent, l);
+        if (std::find(kids.begin(), kids.end(), child) == kids.end()) {
+          return Fail(h, "desc(anc('" + h.value_name(child) +
+                             "')) does not contain it");
+        }
+        if (require_monotone && id > 0 && parent.id < prev_parent) {
+          return Fail(h, "anc not monotone at level " + h.level_name(l));
+        }
+        prev_parent = parent.id;
+      }
+    }
+  }
+
+  // Transitivity on every detailed value: anc to any level equals
+  // stepwise composition (paper condition 2).
+  for (ValueId id = 0; id < h.level_size(0); ++id) {
+    ValueRef step{0, id};
+    for (LevelIndex l = 1; l < m; ++l) {
+      step = h.Anc(step, l);
+      if (h.Anc(ValueRef{0, id}, l) != step) {
+        return Fail(h, "anc not transitive for detailed value '" +
+                           h.value_name(ValueRef{0, id}) + "'");
+      }
+    }
+    // Round-trip: the detailed value is among every ancestor's
+    // detailed descendants (checked for the top, which covers all).
+    if (h.DetailedDescendantCount(h.AllValue()) != h.level_size(0)) {
+      return Fail(h, "ALL does not cover the detailed domain");
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateEnvironment(const ContextEnvironment& env,
+                           bool require_monotone) {
+  std::set<std::string> names;
+  for (size_t i = 0; i < env.size(); ++i) {
+    if (!names.insert(env.parameter(i).name()).second) {
+      return Status::Corruption("duplicate parameter '" +
+                                env.parameter(i).name() + "'");
+    }
+    CTXPREF_RETURN_IF_ERROR(ValidateHierarchyInvariants(
+        env.parameter(i).hierarchy(), require_monotone));
+  }
+  return Status::OK();
+}
+
+}  // namespace ctxpref

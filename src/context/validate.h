@@ -1,0 +1,37 @@
+#ifndef CTXPREF_CONTEXT_VALIDATE_H_
+#define CTXPREF_CONTEXT_VALIDATE_H_
+
+#include "context/environment.h"
+#include "context/hierarchy.h"
+#include "util/status.h"
+
+namespace ctxpref {
+
+/// Deep invariant checks ("doctor" functions) for context models built
+/// from untrusted input (environment spec files, future bindings).
+/// `HierarchyBuilder` already validates on construction; these verify
+/// the invariants *hold on the built object*, so tooling can assert a
+/// loaded model is sound before serving queries with it.
+///
+/// Checked per hierarchy (paper §3.1 conditions):
+///  * the top level is ALL with the single value 'all';
+///  * every non-top value has a parent and parent/child lists agree;
+///  * anc is transitive (anc^L3 = anc^L3 ∘ anc^L2 on samples);
+///  * anc is monotone between adjacent levels (condition 3) —
+///    reported as a warning status only if `require_monotone`;
+///  * detailed-descendant counts are consistent bottom-up and sum to
+///    the detailed domain size at every level;
+///  * Desc/Anc round-trip: every detailed value is among the detailed
+///    descendants of each of its ancestors.
+Status ValidateHierarchyInvariants(const Hierarchy& hierarchy,
+                                   bool require_monotone = false);
+
+/// Validates every parameter's hierarchy plus environment-level
+/// invariants (unique parameter names are enforced at construction;
+/// re-checked defensively).
+Status ValidateEnvironment(const ContextEnvironment& env,
+                           bool require_monotone = false);
+
+}  // namespace ctxpref
+
+#endif  // CTXPREF_CONTEXT_VALIDATE_H_

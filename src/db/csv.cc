@@ -1,0 +1,211 @@
+#include "db/csv.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace ctxpref::db {
+
+namespace {
+
+/// Splits one CSV record into fields, handling quoting. `line` must
+/// not contain the record terminator.
+StatusOr<std::vector<std::string>> SplitRecord(std::string_view line,
+                                               size_t line_no) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  bool was_quoted = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      current.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      if (!current.empty() && Trim(current).empty() == false) {
+        return Status::Corruption("csv line " + std::to_string(line_no) +
+                                  ": quote inside unquoted field");
+      }
+      current.clear();
+      in_quotes = true;
+      was_quoted = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      fields.push_back(was_quoted ? current
+                                  : std::string(Trim(current)));
+      current.clear();
+      was_quoted = false;
+      ++i;
+      continue;
+    }
+    current.push_back(c);
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::Corruption("csv line " + std::to_string(line_no) +
+                              ": unterminated quote");
+  }
+  fields.push_back(was_quoted ? current : std::string(Trim(current)));
+  return fields;
+}
+
+StatusOr<Value> ParseTyped(const std::string& field, ColumnType type,
+                           size_t line_no, const std::string& column) {
+  auto fail = [&](const char* what) {
+    return Status::Corruption("csv line " + std::to_string(line_no) +
+                              ", column '" + column + "': expected " + what +
+                              ", got '" + field + "'");
+  };
+  switch (type) {
+    case ColumnType::kInt64: {
+      int64_t v;
+      if (!ParseInt64(field, &v)) return fail("int64");
+      return Value(v);
+    }
+    case ColumnType::kDouble: {
+      double v;
+      if (!ParseDouble(field, &v)) return fail("double");
+      return Value(v);
+    }
+    case ColumnType::kBool:
+      if (field == "true" || field == "1") return Value(true);
+      if (field == "false" || field == "0") return Value(false);
+      return fail("bool (true/false)");
+    case ColumnType::kString:
+      return Value(field);
+  }
+  return fail("known type");
+}
+
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos ||
+         (!s.empty() && (std::isspace(static_cast<unsigned char>(s.front())) ||
+                         std::isspace(static_cast<unsigned char>(s.back()))));
+}
+
+std::string QuoteField(const std::string& s) {
+  if (!NeedsQuoting(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+StatusOr<Relation> LoadCsv(Schema schema, std::string_view text) {
+  Relation relation(std::move(schema));
+  const Schema& s = relation.schema();
+
+  size_t line_no = 0;
+  size_t pos = 0;
+  bool saw_header = false;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    pos = eol + 1;
+    ++line_no;
+    if (Trim(line).empty()) continue;
+
+    StatusOr<std::vector<std::string>> fields = SplitRecord(line, line_no);
+    if (!fields.ok()) return fields.status();
+
+    if (!saw_header) {
+      if (fields->size() != s.num_columns()) {
+        return Status::InvalidArgument(
+            "csv header has " + std::to_string(fields->size()) +
+            " columns, schema expects " + std::to_string(s.num_columns()));
+      }
+      for (size_t i = 0; i < fields->size(); ++i) {
+        if ((*fields)[i] != s.column(i).name) {
+          return Status::InvalidArgument(
+              "csv header column " + std::to_string(i) + " is '" +
+              (*fields)[i] + "', schema expects '" + s.column(i).name + "'");
+        }
+      }
+      saw_header = true;
+      continue;
+    }
+
+    if (fields->size() != s.num_columns()) {
+      return Status::Corruption("csv line " + std::to_string(line_no) +
+                                ": has " + std::to_string(fields->size()) +
+                                " fields, expected " +
+                                std::to_string(s.num_columns()));
+    }
+    Tuple row;
+    row.reserve(fields->size());
+    for (size_t i = 0; i < fields->size(); ++i) {
+      StatusOr<Value> v =
+          ParseTyped((*fields)[i], s.column(i).type, line_no,
+                     s.column(i).name);
+      if (!v.ok()) return v.status();
+      row.push_back(std::move(*v));
+    }
+    CTXPREF_RETURN_IF_ERROR(relation.Append(std::move(row)));
+  }
+  if (!saw_header) {
+    return Status::InvalidArgument("csv input has no header line");
+  }
+  return relation;
+}
+
+std::string ToCsv(const Relation& relation) {
+  const Schema& s = relation.schema();
+  std::string out;
+  for (size_t i = 0; i < s.num_columns(); ++i) {
+    if (i > 0) out += ",";
+    out += QuoteField(s.column(i).name);
+  }
+  out += "\n";
+  for (RowId r = 0; r < relation.size(); ++r) {
+    const Tuple& row = relation.row(r);
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ",";
+      out += QuoteField(row[i].ToString());
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+StatusOr<Relation> LoadCsvFile(Schema schema, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return LoadCsv(std::move(schema), ss.str());
+}
+
+Status WriteCsvFile(const Relation& relation, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  out << ToCsv(relation);
+  return out ? Status::OK() : Status::Internal("short write to '" + path + "'");
+}
+
+}  // namespace ctxpref::db

@@ -1,0 +1,36 @@
+#ifndef CTXPREF_DB_CSV_H_
+#define CTXPREF_DB_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "db/relation.h"
+#include "util/status.h"
+
+namespace ctxpref::db {
+
+/// Loads a relation from CSV text. The first line must be a header
+/// whose column names match `schema` (same names, same order); each
+/// following line is one row, with values parsed per the column type
+/// (int64, double, bool as true/false, string as-is).
+///
+/// Supported syntax: comma separator, double-quoted fields containing
+/// commas or quotes (`""` escapes a quote), \r\n or \n line ends,
+/// trailing blank lines. Unquoted fields are trimmed.
+///
+/// Errors with Corruption on syntax/typing problems (the message names
+/// the line) and InvalidArgument on header mismatch.
+StatusOr<Relation> LoadCsv(Schema schema, std::string_view text);
+
+/// Serializes `relation` to CSV (header + rows); LoadCsv on the output
+/// reconstructs an equal relation. Strings containing commas, quotes
+/// or newlines are quoted.
+std::string ToCsv(const Relation& relation);
+
+/// File wrappers.
+StatusOr<Relation> LoadCsvFile(Schema schema, const std::string& path);
+Status WriteCsvFile(const Relation& relation, const std::string& path);
+
+}  // namespace ctxpref::db
+
+#endif  // CTXPREF_DB_CSV_H_

@@ -1,0 +1,55 @@
+#include "db/index.h"
+
+namespace ctxpref::db {
+
+StatusOr<HashIndex> HashIndex::Build(const Relation& relation,
+                                     std::string_view column_name) {
+  StatusOr<size_t> col = relation.schema().IndexOf(column_name);
+  if (!col.ok()) return col.status();
+  HashIndex index(*col, relation.size());
+  for (RowId r = 0; r < relation.size(); ++r) {
+    index.buckets_[relation.row(r)[*col]].push_back(r);
+  }
+  return index;
+}
+
+const std::vector<RowId>& HashIndex::Lookup(const Value& value) const {
+  auto it = buckets_.find(value);
+  return it == buckets_.end() ? empty_ : it->second;
+}
+
+Status IndexSet::AddIndex(std::string_view column_name) {
+  StatusOr<HashIndex> index = HashIndex::Build(*relation_, column_name);
+  if (!index.ok()) return index.status();
+  for (HashIndex& existing : indexes_) {
+    if (existing.column_index() == index->column_index()) {
+      existing = std::move(*index);  // Rebuild.
+      return Status::OK();
+    }
+  }
+  indexes_.push_back(std::move(*index));
+  return Status::OK();
+}
+
+const HashIndex* IndexSet::For(size_t column_index) const {
+  for (const HashIndex& index : indexes_) {
+    if (index.column_index() == column_index) {
+      return index.row_count() == relation_->size() ? &index : nullptr;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<RowId> IndexSet::Select(const Predicate& pred,
+                                    bool* used_index) const {
+  if (pred.op() == CompareOp::kEq) {
+    if (const HashIndex* index = For(pred.column_index())) {
+      if (used_index != nullptr) *used_index = true;
+      return index->Lookup(pred.constant());
+    }
+  }
+  if (used_index != nullptr) *used_index = false;
+  return relation_->Select(pred);
+}
+
+}  // namespace ctxpref::db

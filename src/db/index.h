@@ -1,0 +1,71 @@
+#ifndef CTXPREF_DB_INDEX_H_
+#define CTXPREF_DB_INDEX_H_
+
+#include <map>
+#include <vector>
+
+#include "db/predicate.h"
+#include "db/relation.h"
+#include "util/status.h"
+
+namespace ctxpref::db {
+
+/// An equality index over one column: value -> row ids (row order).
+/// Rank_CS evaluates every resolved attribute clause as a selection;
+/// on the common `A = a` clauses an index turns the O(|R|) scan into a
+/// lookup (see `IndexSet` and the `indexes` field of `QueryOptions`).
+///
+/// The index is a snapshot: it reflects the relation at `Build` time
+/// and must be rebuilt after appends (`row_count()` lets callers check
+/// staleness cheaply).
+class HashIndex {
+ public:
+  /// Indexes `column_name` of `relation`. NotFound for unknown columns.
+  static StatusOr<HashIndex> Build(const Relation& relation,
+                                   std::string_view column_name);
+
+  size_t column_index() const { return column_index_; }
+  /// Rows in the relation when the index was built.
+  size_t row_count() const { return row_count_; }
+  /// Distinct values indexed.
+  size_t distinct_values() const { return buckets_.size(); }
+
+  /// Row ids whose column equals `value` (empty if none). O(log V).
+  const std::vector<RowId>& Lookup(const Value& value) const;
+
+ private:
+  HashIndex(size_t column_index, size_t row_count)
+      : column_index_(column_index), row_count_(row_count) {}
+
+  size_t column_index_;
+  size_t row_count_;
+  std::map<Value, std::vector<RowId>> buckets_;
+  std::vector<RowId> empty_;
+};
+
+/// A set of per-column equality indexes over one relation.
+class IndexSet {
+ public:
+  explicit IndexSet(const Relation* relation) : relation_(relation) {}
+
+  /// Builds (or rebuilds) the index for `column_name`.
+  Status AddIndex(std::string_view column_name);
+
+  /// The index covering `column`, or nullptr (also nullptr when the
+  /// index is stale relative to the relation).
+  const HashIndex* For(size_t column_index) const;
+
+  /// Evaluates `pred` using an index when possible, falling back to a
+  /// relation scan. `used_index`, when non-null, reports which path
+  /// was taken.
+  std::vector<RowId> Select(const Predicate& pred,
+                            bool* used_index = nullptr) const;
+
+ private:
+  const Relation* relation_;
+  std::vector<HashIndex> indexes_;
+};
+
+}  // namespace ctxpref::db
+
+#endif  // CTXPREF_DB_INDEX_H_

@@ -1,0 +1,83 @@
+#include "db/ranker.h"
+
+#include <algorithm>
+
+namespace ctxpref::db {
+
+const char* CombinePolicyToString(CombinePolicy p) {
+  switch (p) {
+    case CombinePolicy::kMax:
+      return "max";
+    case CombinePolicy::kMin:
+      return "min";
+    case CombinePolicy::kAvg:
+      return "avg";
+    case CombinePolicy::kWeighted:
+      return "weighted";
+  }
+  return "?";
+}
+
+void Ranker::AddWeighted(RowId row_id, double score, double weight) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), row_id,
+      [](const auto& e, RowId id) { return e.first < id; });
+  if (it == entries_.end() || it->first != row_id) {
+    entries_.insert(it,
+                    {row_id, Entry{score, score * weight, weight}});
+    return;
+  }
+  Entry& e = it->second;
+  switch (policy_) {
+    case CombinePolicy::kMax:
+      e.combined = std::max(e.combined, score);
+      break;
+    case CombinePolicy::kMin:
+      e.combined = std::min(e.combined, score);
+      break;
+    case CombinePolicy::kAvg:
+    case CombinePolicy::kWeighted:
+      break;  // Handled via the weighted sums below.
+  }
+  e.weighted_sum += score * weight;
+  e.weight_sum += weight;
+}
+
+double Ranker::Finalize(const Entry& e) const {
+  switch (policy_) {
+    case CombinePolicy::kMax:
+    case CombinePolicy::kMin:
+      return e.combined;
+    case CombinePolicy::kAvg:
+    case CombinePolicy::kWeighted:
+      return e.weight_sum > 0 ? e.weighted_sum / e.weight_sum : 0.0;
+  }
+  return 0.0;
+}
+
+std::vector<ScoredTuple> Ranker::Ranked() const {
+  std::vector<ScoredTuple> out;
+  out.reserve(entries_.size());
+  for (const auto& [row_id, e] : entries_) {
+    out.push_back(ScoredTuple{row_id, Finalize(e)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ScoredTuple& a, const ScoredTuple& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.row_id < b.row_id;
+            });
+  return out;
+}
+
+std::vector<ScoredTuple> Ranker::TopK(size_t k) const {
+  std::vector<ScoredTuple> ranked = Ranked();
+  if (k == 0 || ranked.size() <= k) return ranked;
+  // Extend past k while tied with the k-th score.
+  size_t end = k;
+  const double kth = ranked[k - 1].score;
+  while (end < ranked.size() && ranked[end].score == kth) ++end;
+  ranked.resize(end);
+  return ranked;
+}
+
+}  // namespace ctxpref::db

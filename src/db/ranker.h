@@ -1,0 +1,80 @@
+#ifndef CTXPREF_DB_RANKER_H_
+#define CTXPREF_DB_RANKER_H_
+
+#include <vector>
+
+#include "db/relation.h"
+#include "db/tuple.h"
+
+namespace ctxpref::db {
+
+/// How to combine scores when several resolved preferences annotate the
+/// same tuple (paper §4.4: "keeping the max (equivalently, avg, min, or
+/// some weighted average)").
+enum class CombinePolicy {
+  kMax,
+  kMin,
+  kAvg,
+  /// Weighted average with weights proportional to insertion order
+  /// recency is meaningless here, so kWeighted takes explicit weights
+  /// via `Ranker::AddWeighted`; with plain `Add`, behaves like kAvg.
+  kWeighted,
+};
+
+const char* CombinePolicyToString(CombinePolicy p);
+
+/// A tuple annotated with its combined interest score.
+struct ScoredTuple {
+  RowId row_id = 0;
+  double score = 0.0;
+
+  friend bool operator==(const ScoredTuple&, const ScoredTuple&) = default;
+};
+
+/// Accumulates (row, score) annotations, combines duplicates under a
+/// policy, and produces a ranked result list (descending score; ties
+/// broken by ascending row id for determinism).
+class Ranker {
+ public:
+  explicit Ranker(CombinePolicy policy = CombinePolicy::kMax)
+      : policy_(policy) {}
+
+  CombinePolicy policy() const { return policy_; }
+
+  /// Annotates `row_id` with `score` (weight 1).
+  void Add(RowId row_id, double score) { AddWeighted(row_id, score, 1.0); }
+
+  /// Annotates with an explicit weight (used by kWeighted / kAvg).
+  void AddWeighted(RowId row_id, double score, double weight);
+
+  /// Number of distinct rows annotated so far.
+  size_t size() const { return entries_.size(); }
+
+  /// Ranked results: all annotated rows, descending combined score.
+  std::vector<ScoredTuple> Ranked() const;
+
+  /// Top-k by score. When the k-th place is tied, *all* tuples with the
+  /// k-th score are included (the paper's user study does the same for
+  /// its top-20 lists: "when there are ties in the ranking, we consider
+  /// all results with the same score").
+  std::vector<ScoredTuple> TopK(size_t k) const;
+
+  void Clear() { entries_.clear(); }
+
+ private:
+  struct Entry {
+    double combined;     // Running max/min.
+    double weighted_sum; // Σ w·s for avg/weighted.
+    double weight_sum;   // Σ w.
+  };
+
+  double Finalize(const Entry& e) const;
+
+  CombinePolicy policy_;
+  /// row id -> accumulation; kept sorted by row id (flat map).
+  std::vector<std::pair<RowId, Entry>> entries_;
+};
+
+}  // namespace ctxpref::db
+
+#endif  // CTXPREF_DB_RANKER_H_

@@ -1,0 +1,53 @@
+#include "db/schema.h"
+
+#include <set>
+
+namespace ctxpref::db {
+
+StatusOr<Schema> Schema::Create(std::vector<Column> columns) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("schema has no columns");
+  }
+  std::set<std::string_view> names;
+  for (const Column& c : columns) {
+    if (c.name.empty()) {
+      return Status::InvalidArgument("schema has an unnamed column");
+    }
+    if (!names.insert(c.name).second) {
+      return Status::InvalidArgument("duplicate column '" + c.name + "'");
+    }
+  }
+  return Schema(std::move(columns));
+}
+
+StatusOr<size_t> Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + std::string(name) + "'");
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ":";
+    out += ColumnTypeToString(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+bool operator==(const Schema& a, const Schema& b) {
+  if (a.columns_.size() != b.columns_.size()) return false;
+  for (size_t i = 0; i < a.columns_.size(); ++i) {
+    if (a.columns_[i].name != b.columns_[i].name ||
+        a.columns_[i].type != b.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ctxpref::db

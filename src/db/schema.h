@@ -1,0 +1,47 @@
+#ifndef CTXPREF_DB_SCHEMA_H_
+#define CTXPREF_DB_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "db/value.h"
+#include "util/status.h"
+
+namespace ctxpref::db {
+
+/// A named, typed column.
+struct Column {
+  std::string name;
+  ColumnType type;
+};
+
+/// An ordered set of columns describing a relation's tuples.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Errors with InvalidArgument on empty or duplicate column names.
+  static StatusOr<Schema> Create(std::vector<Column> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name`; NotFound otherwise.
+  StatusOr<size_t> IndexOf(std::string_view name) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Schema&, const Schema&);
+
+ private:
+  explicit Schema(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  std::vector<Column> columns_;
+};
+
+}  // namespace ctxpref::db
+
+#endif  // CTXPREF_DB_SCHEMA_H_

@@ -1,0 +1,17 @@
+#include "db/tuple.h"
+
+namespace ctxpref::db {
+
+std::string TupleToString(const Schema& schema, const Tuple& tuple) {
+  std::string out = "{";
+  for (size_t i = 0; i < tuple.size() && i < schema.num_columns(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema.column(i).name;
+    out += ": ";
+    out += tuple[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace ctxpref::db

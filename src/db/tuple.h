@@ -1,0 +1,23 @@
+#ifndef CTXPREF_DB_TUPLE_H_
+#define CTXPREF_DB_TUPLE_H_
+
+#include <vector>
+
+#include "db/schema.h"
+#include "db/value.h"
+
+namespace ctxpref::db {
+
+/// Row identifier within a relation (position of insertion).
+using RowId = uint64_t;
+
+/// A tuple is a plain row of values; the owning `Relation` guarantees
+/// it matches the schema.
+using Tuple = std::vector<Value>;
+
+/// Formats a tuple against its schema: "{pid: 3, name: Acropolis, ...}".
+std::string TupleToString(const Schema& schema, const Tuple& tuple);
+
+}  // namespace ctxpref::db
+
+#endif  // CTXPREF_DB_TUPLE_H_

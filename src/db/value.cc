@@ -1,0 +1,86 @@
+#include "db/value.h"
+
+#include "util/string_util.h"
+
+namespace ctxpref::db {
+
+const char* ColumnTypeToString(ColumnType t) {
+  switch (t) {
+    case ColumnType::kInt64:
+      return "int64";
+    case ColumnType::kDouble:
+      return "double";
+    case ColumnType::kString:
+      return "string";
+    case ColumnType::kBool:
+      return "bool";
+  }
+  return "unknown";
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ColumnType::kInt64:
+      return std::to_string(AsInt64());
+    case ColumnType::kDouble:
+      return FormatDouble(AsDouble());
+    case ColumnType::kString:
+      return AsString();
+    case ColumnType::kBool:
+      return AsBool() ? "true" : "false";
+  }
+  return "?";
+}
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+StatusOr<CompareOp> ParseCompareOp(std::string_view s) {
+  if (s == "=" || s == "==") return CompareOp::kEq;
+  if (s == "!=" || s == "<>") return CompareOp::kNe;
+  if (s == "<") return CompareOp::kLt;
+  if (s == "<=") return CompareOp::kLe;
+  if (s == ">") return CompareOp::kGt;
+  if (s == ">=") return CompareOp::kGe;
+  return Status::Corruption("unknown comparison operator '" + std::string(s) +
+                            "'");
+}
+
+bool EvalCompare(const Value& lhs, CompareOp op, const Value& rhs) {
+  if (lhs.type() != rhs.type()) {
+    // Mismatched types: only equality semantics are defined.
+    return op == CompareOp::kNe;
+  }
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+}  // namespace ctxpref::db

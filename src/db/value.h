@@ -1,0 +1,84 @@
+#ifndef CTXPREF_DB_VALUE_H_
+#define CTXPREF_DB_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "util/status.h"
+
+namespace ctxpref::db {
+
+/// Column type of the miniature relational engine used as the substrate
+/// under contextual queries (paper §4.4 operates on a relation
+/// R(A1, ..., An) via selections σ_{Ai=value}).
+enum class ColumnType {
+  kInt64,
+  kDouble,
+  kString,
+  kBool,
+};
+
+const char* ColumnTypeToString(ColumnType t);
+
+/// A typed scalar value.
+class Value {
+ public:
+  Value() : rep_(int64_t{0}) {}
+  explicit Value(int64_t v) : rep_(v) {}
+  explicit Value(double v) : rep_(v) {}
+  explicit Value(std::string v) : rep_(std::move(v)) {}
+  explicit Value(const char* v) : rep_(std::string(v)) {}
+  explicit Value(bool v) : rep_(v) {}
+
+  ColumnType type() const {
+    switch (rep_.index()) {
+      case 0:
+        return ColumnType::kInt64;
+      case 1:
+        return ColumnType::kDouble;
+      case 2:
+        return ColumnType::kString;
+      default:
+        return ColumnType::kBool;
+    }
+  }
+
+  int64_t AsInt64() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const { return std::get<double>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+  bool AsBool() const { return std::get<bool>(rep_); }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Value&, const Value&) = default;
+  /// Total order within one type; across types, orders by type index
+  /// (callers should not rely on cross-type ordering).
+  friend auto operator<=>(const Value&, const Value&) = default;
+
+ private:
+  std::variant<int64_t, double, std::string, bool> rep_;
+};
+
+/// Comparison operators θ of attribute clauses (paper Def. 5).
+enum class CompareOp {
+  kEq,   ///< =
+  kNe,   ///< ≠
+  kLt,   ///< <
+  kLe,   ///< ≤
+  kGt,   ///< >
+  kGe,   ///< ≥
+};
+
+const char* CompareOpToString(CompareOp op);
+
+/// Parses "=", "!=", "<", "<=", ">", ">=".
+StatusOr<CompareOp> ParseCompareOp(std::string_view s);
+
+/// Evaluates `lhs op rhs`. Values must have the same type; mismatched
+/// types compare unequal (kEq false, kNe true) and fail ordering ops.
+bool EvalCompare(const Value& lhs, CompareOp op, const Value& rhs);
+
+}  // namespace ctxpref::db
+
+#endif  // CTXPREF_DB_VALUE_H_

@@ -1,0 +1,107 @@
+#include "preference/contextual_query.h"
+
+#include <cmath>
+
+namespace ctxpref {
+
+const char* ScoreDiscountToString(ScoreDiscount d) {
+  switch (d) {
+    case ScoreDiscount::kNone:
+      return "none";
+    case ScoreDiscount::kInverseDistance:
+      return "inverse-distance";
+    case ScoreDiscount::kExponential:
+      return "exponential";
+  }
+  return "?";
+}
+
+double ApplyDiscount(ScoreDiscount discount, double score, double distance) {
+  switch (discount) {
+    case ScoreDiscount::kNone:
+      return score;
+    case ScoreDiscount::kInverseDistance:
+      return score / (1.0 + distance);
+    case ScoreDiscount::kExponential:
+      return score * std::exp2(-distance);
+  }
+  return score;
+}
+
+StatusOr<QueryResult> RankCS(const db::Relation& relation,
+                             const ContextualQuery& query,
+                             const ContextEnvironment& env,
+                             const ResolveFn& resolve,
+                             const QueryOptions& options,
+                             AccessCounter* counter) {
+  QueryResult result;
+  db::Ranker ranker(options.combine);
+
+  std::vector<ContextState> states = query.context.EnumerateStates(env);
+  if (states.empty()) {
+    // No context at all: treat as the (all, ..., all) state so that
+    // non-contextual preferences (empty descriptors) still apply.
+    states.push_back(ContextState::AllState(env));
+  }
+
+  for (const ContextState& s : states) {
+    CTXPREF_RETURN_IF_ERROR(s.Validate(env));
+    std::vector<CandidatePath> best = resolve(s, options.resolution, counter);
+    for (const CandidatePath& cand : best) {
+      for (const ProfileTree::LeafEntry& entry : cand.entries) {
+        StatusOr<db::Predicate> pred =
+            db::Predicate::Create(relation.schema(), entry.clause.attribute,
+                                  entry.clause.op, entry.clause.value);
+        if (!pred.ok()) return pred.status();
+        std::vector<db::RowId> rows = options.indexes != nullptr
+                                          ? options.indexes->Select(*pred)
+                                          : relation.Select(*pred);
+        for (db::RowId row : rows) {
+          // Restricting selections, if any, must all pass.
+          bool eligible = true;
+          for (const db::Predicate& sel : query.selections) {
+            if (!sel.Eval(relation.row(row))) {
+              eligible = false;
+              break;
+            }
+          }
+          if (eligible) {
+            ranker.Add(row, ApplyDiscount(options.discount, entry.score,
+                                          cand.distance));
+          }
+        }
+      }
+    }
+    result.traces.push_back(QueryResult::Trace{s, std::move(best)});
+  }
+
+  result.tuples =
+      options.top_k > 0 ? ranker.TopK(options.top_k) : ranker.Ranked();
+  return result;
+}
+
+StatusOr<QueryResult> RankCS(const db::Relation& relation,
+                             const ContextualQuery& query,
+                             const TreeResolver& resolver,
+                             const QueryOptions& options,
+                             AccessCounter* counter) {
+  return RankCS(
+      relation, query, resolver.tree().env(),
+      [&resolver](const ContextState& s, const ResolutionOptions& opts,
+                  AccessCounter* c) { return resolver.ResolveBest(s, opts, c); },
+      options, counter);
+}
+
+StatusOr<QueryResult> RankCS(const db::Relation& relation,
+                             const ContextualQuery& query,
+                             const SequentialStore& store,
+                             const QueryOptions& options,
+                             AccessCounter* counter) {
+  return RankCS(
+      relation, query, store.env(),
+      [&store](const ContextState& s, const ResolutionOptions& opts,
+               AccessCounter* c) { return store.ResolveBest(s, opts, c); },
+      options, counter);
+}
+
+}  // namespace ctxpref

@@ -1,0 +1,127 @@
+#include "preference/continuous.h"
+
+namespace ctxpref {
+
+StatusOr<size_t> ContinuousQueryEngine::RegisterCurrentContext(
+    std::vector<db::Predicate> selections, QueryOptions options,
+    Callback callback) {
+  if (callback == nullptr) {
+    return Status::InvalidArgument("continuous query needs a callback");
+  }
+  Registration reg;
+  reg.alive = true;
+  reg.follows_context = true;
+  reg.selections = std::move(selections);
+  reg.options = options;
+  reg.callback = std::move(callback);
+  registrations_.push_back(std::move(reg));
+  return registrations_.size() - 1;
+}
+
+StatusOr<size_t> ContinuousQueryEngine::RegisterFixed(
+    ExtendedDescriptor context, std::vector<db::Predicate> selections,
+    QueryOptions options, Callback callback) {
+  if (callback == nullptr) {
+    return Status::InvalidArgument("continuous query needs a callback");
+  }
+  if (context.empty()) {
+    return Status::InvalidArgument(
+        "fixed continuous query needs a non-empty context (use "
+        "RegisterCurrentContext to follow the ambient state)");
+  }
+  Registration reg;
+  reg.alive = true;
+  reg.follows_context = false;
+  reg.fixed_context = std::move(context);
+  reg.selections = std::move(selections);
+  reg.options = options;
+  reg.callback = std::move(callback);
+  registrations_.push_back(std::move(reg));
+  return registrations_.size() - 1;
+}
+
+Status ContinuousQueryEngine::Unregister(size_t id) {
+  if (id >= registrations_.size() || !registrations_[id].alive) {
+    return Status::NotFound("no continuous query with id " +
+                            std::to_string(id));
+  }
+  registrations_[id].alive = false;
+  registrations_[id].callback = nullptr;
+  return Status::OK();
+}
+
+size_t ContinuousQueryEngine::active() const {
+  size_t n = 0;
+  for (const Registration& r : registrations_) n += r.alive ? 1 : 0;
+  return n;
+}
+
+Status ContinuousQueryEngine::EnsureFreshTree() {
+  if (tree_.has_value() && tree_version_ == profile_->version()) {
+    return Status::OK();
+  }
+  StatusOr<ProfileTree> tree = ProfileTree::Build(*profile_);
+  if (!tree.ok()) return tree.status();
+  tree_.emplace(std::move(*tree));
+  tree_version_ = profile_->version();
+  return Status::OK();
+}
+
+Status ContinuousQueryEngine::Evaluate(size_t id, Registration& reg,
+                                       size_t* fired) {
+  ContextualQuery query;
+  if (reg.follows_context) {
+    if (!current_.has_value()) return Status::OK();  // Nothing to do yet.
+    StatusOr<CompositeDescriptor> cod =
+        CompositeDescriptor::ForState(profile_->env(), *current_);
+    if (!cod.ok()) return cod.status();
+    query.context = ExtendedDescriptor::FromComposite(std::move(*cod));
+  } else {
+    query.context = reg.fixed_context;
+  }
+  query.selections = reg.selections;
+
+  TreeResolver resolver(&*tree_);
+  StatusOr<QueryResult> result =
+      RankCS(*relation_, query, resolver, reg.options);
+  if (!result.ok()) return result.status();
+
+  if (!reg.evaluated || result->tuples != reg.last_tuples) {
+    reg.last_tuples = result->tuples;
+    reg.evaluated = true;
+    reg.callback(id, *result);
+    ++*fired;
+  }
+  return Status::OK();
+}
+
+StatusOr<size_t> ContinuousQueryEngine::OnContext(
+    const ContextState& current) {
+  CTXPREF_RETURN_IF_ERROR(current.Validate(profile_->env()));
+  CTXPREF_RETURN_IF_ERROR(EnsureFreshTree());
+  const bool context_changed =
+      !current_.has_value() || !(*current_ == current);
+  current_ = current;
+  size_t fired = 0;
+  for (size_t id = 0; id < registrations_.size(); ++id) {
+    Registration& reg = registrations_[id];
+    if (!reg.alive) continue;
+    if (reg.follows_context && !context_changed && reg.evaluated) continue;
+    if (!reg.follows_context && reg.evaluated) continue;  // Fixed: no-op.
+    CTXPREF_RETURN_IF_ERROR(Evaluate(id, reg, &fired));
+  }
+  return fired;
+}
+
+StatusOr<size_t> ContinuousQueryEngine::OnProfileChange() {
+  CTXPREF_RETURN_IF_ERROR(EnsureFreshTree());
+  size_t fired = 0;
+  for (size_t id = 0; id < registrations_.size(); ++id) {
+    Registration& reg = registrations_[id];
+    if (!reg.alive) continue;
+    CTXPREF_RETURN_IF_ERROR(Evaluate(id, reg, &fired));
+  }
+  return fired;
+}
+
+}  // namespace ctxpref

@@ -1,0 +1,95 @@
+#ifndef CTXPREF_PREFERENCE_CONTINUOUS_H_
+#define CTXPREF_PREFERENCE_CONTINUOUS_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "preference/contextual_query.h"
+#include "preference/profile_tree.h"
+#include "util/status.h"
+
+namespace ctxpref {
+
+/// Standing contextual queries over a changing ambient context —
+/// context-aware information filters in the spirit of the related work
+/// the paper cites (§6, [6]), built on the paper's own resolution
+/// machinery.
+///
+/// A registered query is re-evaluated whenever the current context
+/// changes (`OnContext`) or the profile is edited (`OnProfileChange`),
+/// and its callback fires when — and only when — its ranked answer
+/// actually changed. Two registration flavors:
+///
+///  * current-context queries follow the ambient state ("keep my
+///    recommendations fresh as I move around");
+///  * fixed-context queries pin an explicit extended descriptor and
+///    react to profile edits only ("watch what my Athens-with-family
+///    plan looks like as I tune my preferences").
+///
+/// The engine borrows the relation and profile (no ownership) and
+/// rebuilds its profile tree lazily when `profile->version()` moves.
+class ContinuousQueryEngine {
+ public:
+  /// Fired with the registration id and the new result.
+  using Callback =
+      std::function<void(size_t id, const QueryResult& result)>;
+
+  ContinuousQueryEngine(const db::Relation* relation, const Profile* profile)
+      : relation_(relation), profile_(profile) {}
+
+  /// Registers a query that follows the ambient context. `selections`
+  /// restrict eligible tuples as in `ContextualQuery`. Returns the id.
+  StatusOr<size_t> RegisterCurrentContext(
+      std::vector<db::Predicate> selections, QueryOptions options,
+      Callback callback);
+
+  /// Registers a query pinned to `context`.
+  StatusOr<size_t> RegisterFixed(ExtendedDescriptor context,
+                                 std::vector<db::Predicate> selections,
+                                 QueryOptions options, Callback callback);
+
+  /// Unregisters; NotFound for unknown/already-removed ids.
+  Status Unregister(size_t id);
+
+  /// Live registrations.
+  size_t active() const;
+
+  /// Feeds a new ambient context state; re-evaluates every
+  /// current-context query. Returns how many callbacks fired.
+  StatusOr<size_t> OnContext(const ContextState& current);
+
+  /// Re-evaluates *all* queries against the (possibly edited) profile
+  /// at the last seen context. Returns how many callbacks fired.
+  StatusOr<size_t> OnProfileChange();
+
+ private:
+  struct Registration {
+    bool alive = false;
+    bool follows_context = false;
+    ExtendedDescriptor fixed_context;
+    std::vector<db::Predicate> selections;
+    QueryOptions options;
+    Callback callback;
+    std::vector<db::ScoredTuple> last_tuples;
+    bool evaluated = false;
+  };
+
+  /// Rebuilds the tree if the profile version moved.
+  Status EnsureFreshTree();
+
+  /// Evaluates one registration; fires its callback on change.
+  /// Increments `*fired` if it did.
+  Status Evaluate(size_t id, Registration& reg, size_t* fired);
+
+  const db::Relation* relation_;
+  const Profile* profile_;
+  std::optional<ProfileTree> tree_;
+  uint64_t tree_version_ = 0;
+  std::optional<ContextState> current_;
+  std::vector<Registration> registrations_;
+};
+
+}  // namespace ctxpref
+
+#endif  // CTXPREF_PREFERENCE_CONTINUOUS_H_

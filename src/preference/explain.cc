@@ -1,0 +1,47 @@
+#include "preference/explain.h"
+
+#include "util/string_util.h"
+
+namespace ctxpref {
+
+std::vector<Contribution> ExplainTuple(const QueryResult& result,
+                                       const db::Relation& relation,
+                                       db::RowId row) {
+  std::vector<Contribution> out;
+  if (row >= relation.size()) return out;
+  const db::Tuple& tuple = relation.row(row);
+  for (const QueryResult::Trace& trace : result.traces) {
+    for (const CandidatePath& cand : trace.candidates) {
+      for (const ProfileTree::LeafEntry& entry : cand.entries) {
+        StatusOr<db::Predicate> pred = db::Predicate::Create(
+            relation.schema(), entry.clause.attribute, entry.clause.op,
+            entry.clause.value);
+        if (!pred.ok()) continue;  // Clause over a non-existent column.
+        if (!pred->Eval(tuple)) continue;
+        out.push_back(Contribution{trace.query_state, cand.state,
+                                   cand.distance, entry.clause, entry.score});
+      }
+    }
+  }
+  return out;
+}
+
+std::string ExplainTupleText(const QueryResult& result,
+                             const db::Relation& relation,
+                             const ContextEnvironment& env, db::RowId row) {
+  std::vector<Contribution> contributions =
+      ExplainTuple(result, relation, row);
+  if (contributions.empty()) {
+    return "no preference contributed to this tuple\n";
+  }
+  std::string out;
+  for (const Contribution& c : contributions) {
+    out += "score " + FormatDouble(c.score, 3) + " via " +
+           c.matched_state.ToString(env) + " [dist " +
+           FormatDouble(c.distance, 3) + "] covering query " +
+           c.query_state.ToString(env) + ": " + c.clause.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace ctxpref

@@ -1,0 +1,46 @@
+#ifndef CTXPREF_PREFERENCE_EXPLAIN_H_
+#define CTXPREF_PREFERENCE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "preference/contextual_query.h"
+
+namespace ctxpref {
+
+/// Answer explanations — the traceability the paper's user study
+/// leaned on (§5.1: "traceability helps a lot, since users can track
+/// back which preferences were used to attain the results").
+///
+/// Given a `QueryResult` (whose traces record, per query state, the
+/// chosen candidate context states and their preference entries),
+/// `ExplainTuple` reconstructs *why* a tuple received its score:
+/// which query state, through which stored (covering) context state at
+/// what distance, via which attribute clause.
+
+/// One contributing preference application for a tuple.
+struct Contribution {
+  ContextState query_state;     ///< The query state that triggered it.
+  ContextState matched_state;   ///< The stored state that covered it.
+  double distance = 0.0;        ///< Its resolution distance.
+  AttributeClause clause;       ///< The clause the tuple satisfied.
+  double score = 0.0;           ///< The clause's interest score.
+};
+
+/// All contributions that scored `row` in `result`. Empty if the tuple
+/// is not part of the answer (or was matched only via cached entries,
+/// whose traces carry no candidates).
+std::vector<Contribution> ExplainTuple(const QueryResult& result,
+                                       const db::Relation& relation,
+                                       db::RowId row);
+
+/// Human-readable explanation, e.g.:
+///   score 0.80 via (Plaka, warm, all) [dist 1] covering query
+///   (Plaka, warm, friends): name = Acropolis : 0.8
+std::string ExplainTupleText(const QueryResult& result,
+                             const db::Relation& relation,
+                             const ContextEnvironment& env, db::RowId row);
+
+}  // namespace ctxpref
+
+#endif  // CTXPREF_PREFERENCE_EXPLAIN_H_

@@ -1,0 +1,129 @@
+#include "preference/feedback.h"
+
+#include <cmath>
+
+#include "db/predicate.h"
+
+namespace ctxpref {
+
+namespace {
+
+double Quantize(double v, double grid) {
+  if (grid <= 0.0) return v;
+  return std::round(v / grid) * grid;
+}
+
+double Clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
+
+/// True iff `pref`'s clause matches the tuple.
+StatusOr<bool> ClauseMatches(const ContextualPreference& pref,
+                             const db::Relation& relation,
+                             const db::Tuple& tuple) {
+  StatusOr<db::Predicate> pred = db::Predicate::Create(
+      relation.schema(), pref.clause().attribute, pref.clause().op,
+      pref.clause().value);
+  if (!pred.ok()) {
+    if (pred.status().IsNotFound()) return false;  // Foreign attribute.
+    return pred.status();
+  }
+  return pred->Eval(tuple);
+}
+
+}  // namespace
+
+StatusOr<FeedbackOutcome> ApplyFeedback(Profile& profile,
+                                        const db::Relation& relation,
+                                        const FeedbackEvent& event,
+                                        const FeedbackOptions& options) {
+  if (event.row >= relation.size()) {
+    return Status::InvalidArgument("feedback row out of range");
+  }
+  if (event.signal == 0) {
+    return Status::InvalidArgument("feedback signal must be +1 or -1");
+  }
+  CTXPREF_RETURN_IF_ERROR(event.state.Validate(profile.env()));
+  const db::Tuple& tuple = relation.row(event.row);
+
+  FeedbackOutcome outcome;
+  // Collect matching preference indices first (UpdateScore reorders).
+  // Identify them by (clause, score) value instead of index.
+  struct Target {
+    AttributeClause clause;
+    double score;
+  };
+  std::vector<Target> targets;
+  for (size_t i = 0; i < profile.size(); ++i) {
+    const ContextualPreference& pref = profile.preference(i);
+    StatusOr<bool> matches = ClauseMatches(pref, relation, tuple);
+    if (!matches.ok()) return matches.status();
+    if (!*matches) continue;
+    // Context applicability: some state of the descriptor covers the
+    // event's state.
+    bool applies = false;
+    for (const ContextState& s : pref.States(profile.env())) {
+      if (s.Covers(profile.env(), event.state)) {
+        applies = true;
+        break;
+      }
+    }
+    if (applies) targets.push_back(Target{pref.clause(), pref.score()});
+  }
+
+  for (const Target& target : targets) {
+    // Re-locate the preference (indices shift as we rescore).
+    for (size_t i = 0; i < profile.size(); ++i) {
+      const ContextualPreference& pref = profile.preference(i);
+      if (!(pref.clause() == target.clause) || pref.score() != target.score) {
+        continue;
+      }
+      const double goal = event.signal > 0 ? 1.0 : 0.0;
+      const double moved =
+          target.score + options.learning_rate * (goal - target.score);
+      const double new_score = Clamp01(Quantize(moved, options.grid));
+      if (new_score == target.score) break;
+      Status st = profile.UpdateScore(i, new_score);
+      if (st.IsConflict()) break;  // Another pref pins this cell; skip.
+      if (!st.ok()) return st;
+      ++outcome.rescored;
+      break;
+    }
+  }
+
+  if (targets.empty() && event.signal > 0) {
+    // Materialize a fresh preference for this (context, tuple) cell.
+    StatusOr<size_t> col =
+        relation.schema().IndexOf(options.bootstrap_attribute);
+    if (!col.ok()) return col.status();
+    StatusOr<CompositeDescriptor> cod =
+        CompositeDescriptor::ForState(profile.env(), event.state);
+    if (!cod.ok()) return cod.status();
+    StatusOr<ContextualPreference> pref = ContextualPreference::Create(
+        std::move(*cod),
+        AttributeClause{options.bootstrap_attribute, db::CompareOp::kEq,
+                        tuple[*col]},
+        Clamp01(Quantize(options.bootstrap_score, options.grid)));
+    if (!pref.ok()) return pref.status();
+    Status st = profile.InsertWithPolicy(std::move(*pref),
+                                         ConflictPolicy::kKeepExisting);
+    if (!st.ok()) return st;
+    outcome.created = true;
+  }
+  return outcome;
+}
+
+StatusOr<FeedbackOutcome> ApplyFeedbackBatch(
+    Profile& profile, const db::Relation& relation,
+    const std::vector<FeedbackEvent>& events,
+    const FeedbackOptions& options) {
+  FeedbackOutcome total;
+  for (const FeedbackEvent& event : events) {
+    StatusOr<FeedbackOutcome> one =
+        ApplyFeedback(profile, relation, event, options);
+    if (!one.ok()) return one.status();
+    total.rescored += one->rescored;
+    total.created = total.created || one->created;
+  }
+  return total;
+}
+
+}  // namespace ctxpref

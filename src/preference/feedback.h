@@ -1,0 +1,77 @@
+#ifndef CTXPREF_PREFERENCE_FEEDBACK_H_
+#define CTXPREF_PREFERENCE_FEEDBACK_H_
+
+#include <string>
+#include <vector>
+
+#include "db/relation.h"
+#include "preference/profile.h"
+#include "util/status.h"
+
+namespace ctxpref {
+
+/// Implicit profile adaptation from usage feedback.
+///
+/// The paper's user study (§5.1) has users *manually* editing their
+/// profiles toward their taste; this module automates the same loop
+/// from interaction signals: "in context s the user accepted/rejected
+/// tuple t" nudges the scores of the preferences that would have
+/// ranked t in s, or creates a preference when none exists.
+///
+/// Updates stay within the paper's model — the result is still a plain
+/// conflict-free `Profile` of (descriptor, clause, score) triples; the
+/// feedback loop only chooses which scores to move, by how much, and
+/// which (context, clause) cells to materialize.
+
+/// One observed interaction.
+struct FeedbackEvent {
+  ContextState state;  ///< Context in which the user acted.
+  db::RowId row = 0;   ///< The tuple acted on.
+  /// +1 accepted / visited / liked; -1 rejected / dismissed.
+  int signal = 1;
+};
+
+struct FeedbackOptions {
+  /// Fraction of the gap toward 1.0 (positive) / 0.0 (negative) an
+  /// event moves a matching preference's score.
+  double learning_rate = 0.2;
+  /// Score given to a *newly created* preference on positive feedback
+  /// with no matching preference (negative feedback never creates).
+  double bootstrap_score = 0.6;
+  /// Which tuple attribute new preferences constrain (clause
+  /// `attribute = tuple[attribute]`).
+  std::string bootstrap_attribute = "type";
+  /// Scores are quantized to this grid (0 = no quantization), keeping
+  /// feedback-edited profiles on the same grid manual editing uses.
+  double grid = 0.05;
+};
+
+/// Result of applying one event.
+struct FeedbackOutcome {
+  size_t rescored = 0;  ///< Preferences whose score moved.
+  bool created = false; ///< A new preference was materialized.
+};
+
+/// Applies one feedback event to `profile`:
+///  * every preference whose descriptor covers `event.state` and whose
+///    clause matches the tuple is rescored toward 1 (positive) or 0
+///    (negative) by `learning_rate`, via `Profile::UpdateScore`;
+///  * on positive feedback with no matching preference, a new one is
+///    created at `bootstrap_score` with descriptor
+///    `CompositeDescriptor::ForState(state)` and clause
+///    `bootstrap_attribute = tuple[bootstrap_attribute]`.
+/// Rescores that would collide with Def. 6 are skipped (counted out).
+StatusOr<FeedbackOutcome> ApplyFeedback(Profile& profile,
+                                        const db::Relation& relation,
+                                        const FeedbackEvent& event,
+                                        const FeedbackOptions& options = {});
+
+/// Applies a batch in order; returns the summed outcome.
+StatusOr<FeedbackOutcome> ApplyFeedbackBatch(
+    Profile& profile, const db::Relation& relation,
+    const std::vector<FeedbackEvent>& events,
+    const FeedbackOptions& options = {});
+
+}  // namespace ctxpref
+
+#endif  // CTXPREF_PREFERENCE_FEEDBACK_H_

@@ -1,0 +1,107 @@
+#include "preference/ordering.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+namespace ctxpref {
+
+Ordering Ordering::Identity(size_t n) {
+  std::vector<size_t> p(n);
+  std::iota(p.begin(), p.end(), 0);
+  return Ordering(std::move(p));
+}
+
+StatusOr<Ordering> Ordering::FromPermutation(
+    std::vector<size_t> level_to_param) {
+  std::vector<bool> seen(level_to_param.size(), false);
+  for (size_t p : level_to_param) {
+    if (p >= level_to_param.size() || seen[p]) {
+      return Status::InvalidArgument(
+          "ordering is not a permutation of 0.." +
+          std::to_string(level_to_param.size() - 1));
+    }
+    seen[p] = true;
+  }
+  return Ordering(std::move(level_to_param));
+}
+
+std::string Ordering::ToString(const ContextEnvironment& env) const {
+  std::string out = "(";
+  for (size_t i = 0; i < level_to_param_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += env.parameter(level_to_param_[i]).name();
+  }
+  out += ")";
+  return out;
+}
+
+uint64_t MaxCellEstimate(const std::vector<uint64_t>& sizes) {
+  // m1·(1 + m2·(1 + ... (1 + mn))): fold right-to-left.
+  uint64_t acc = 0;
+  for (size_t i = sizes.size(); i > 0; --i) {
+    acc = sizes[i - 1] * (1 + acc);
+  }
+  return acc;
+}
+
+std::vector<uint64_t> ActiveDomainSizes(const Profile& profile) {
+  const size_t n = profile.env().size();
+  std::vector<std::unordered_set<uint64_t>> seen(n);
+  for (const Profile::FlatEntry& e : profile.Flatten()) {
+    for (size_t i = 0; i < n; ++i) {
+      ValueRef v = e.state.value(i);
+      seen[i].insert((static_cast<uint64_t>(v.level) << 32) | v.id);
+    }
+  }
+  std::vector<uint64_t> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = seen[i].size();
+  return out;
+}
+
+Ordering GreedyOrdering(const Profile& profile) {
+  std::vector<uint64_t> active = ActiveDomainSizes(profile);
+  std::vector<size_t> perm(active.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::stable_sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+    return active[a] < active[b];
+  });
+  return *Ordering::FromPermutation(std::move(perm));
+}
+
+StatusOr<std::vector<Ordering>> AllOrderings(size_t n) {
+  if (n > 9) {
+    return Status::InvalidArgument(
+        "refusing to enumerate " + std::to_string(n) +
+        "! orderings; use GreedyOrdering for wide environments");
+  }
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::vector<Ordering> out;
+  do {
+    out.push_back(*Ordering::FromPermutation(perm));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return out;
+}
+
+StatusOr<Ordering> OptimalOrderingByEstimate(const Profile& profile) {
+  std::vector<uint64_t> active = ActiveDomainSizes(profile);
+  StatusOr<std::vector<Ordering>> all = AllOrderings(active.size());
+  if (!all.ok()) return all.status();
+  const Ordering* best = nullptr;
+  uint64_t best_cost = 0;
+  for (const Ordering& o : *all) {
+    std::vector<uint64_t> sizes(active.size());
+    for (size_t level = 0; level < o.size(); ++level) {
+      sizes[level] = active[o.param_at_level(level)];
+    }
+    uint64_t cost = MaxCellEstimate(sizes);
+    if (best == nullptr || cost < best_cost) {
+      best = &o;
+      best_cost = cost;
+    }
+  }
+  return *best;
+}
+
+}  // namespace ctxpref

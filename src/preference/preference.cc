@@ -1,0 +1,82 @@
+#include "preference/preference.h"
+
+#include <unordered_set>
+
+namespace ctxpref {
+
+std::string AttributeClause::ToString() const {
+  return attribute + " " + db::CompareOpToString(op) + " " + value.ToString();
+}
+
+namespace {
+
+/// Structural key of a composite descriptor, independent of the
+/// environment: parts are already sorted by parameter index and value
+/// sets are deduplicated in stable order, so equal construction yields
+/// equal keys.
+std::string DescriptorKey(const CompositeDescriptor& cod) {
+  std::string key;
+  for (const ParameterDescriptor& pd : cod.parts()) {
+    key += std::to_string(pd.param_index());
+    key += '#';
+    for (ValueRef v : pd.ContextOf()) {
+      key += std::to_string(v.level);
+      key += '.';
+      key += std::to_string(v.id);
+      key += ',';
+    }
+    key += ';';
+  }
+  return key;
+}
+
+}  // namespace
+
+ContextualPreference::ContextualPreference(CompositeDescriptor descriptor,
+                                           AttributeClause clause,
+                                           double score)
+    : descriptor_(std::move(descriptor)),
+      clause_(std::move(clause)),
+      score_(score),
+      descriptor_key_(DescriptorKey(descriptor_)) {}
+
+StatusOr<ContextualPreference> ContextualPreference::Create(
+    CompositeDescriptor descriptor, AttributeClause clause, double score) {
+  if (!(score >= 0.0 && score <= 1.0)) {
+    return Status::InvalidArgument("interest score must be in [0, 1], got " +
+                                   std::to_string(score));
+  }
+  if (clause.attribute.empty()) {
+    return Status::InvalidArgument("attribute clause has no attribute name");
+  }
+  return ContextualPreference(std::move(descriptor), std::move(clause), score);
+}
+
+std::string ContextualPreference::ToString(
+    const ContextEnvironment& env) const {
+  return "(" + descriptor_.ToString(env) + "), (" + clause_.ToString() +
+         "), " + std::to_string(score_);
+}
+
+bool ConflictsWith(const ContextEnvironment& env,
+                   const ContextualPreference& a,
+                   const ContextualPreference& b) {
+  // Condition 2 first (cheap): same attribute clause target.
+  if (a.clause().attribute != b.clause().attribute ||
+      a.clause().op != b.clause().op ||
+      a.clause().value != b.clause().value) {
+    return false;
+  }
+  // Condition 3: scores differ.
+  if (a.score() == b.score()) return false;
+  // Condition 1: Context(cod_a) ∩ Context(cod_b) ≠ ∅.
+  std::vector<ContextState> sa = a.States(env);
+  std::unordered_set<ContextState, ContextStateHash> set_a(sa.begin(),
+                                                           sa.end());
+  for (const ContextState& s : b.States(env)) {
+    if (set_a.count(s) > 0) return true;
+  }
+  return false;
+}
+
+}  // namespace ctxpref

@@ -1,0 +1,83 @@
+#ifndef CTXPREF_PREFERENCE_PREFERENCE_H_
+#define CTXPREF_PREFERENCE_PREFERENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "context/descriptor.h"
+#include "context/environment.h"
+#include "db/schema.h"
+#include "db/value.h"
+#include "util/status.h"
+
+namespace ctxpref {
+
+/// An attribute clause `A θ a` on a non-context attribute of the
+/// database relation (paper Def. 5). The paper's running simplification
+/// uses a single attribute with θ being '='; we keep the general θ from
+/// the definition.
+struct AttributeClause {
+  std::string attribute;
+  db::CompareOp op = db::CompareOp::kEq;
+  db::Value value;
+
+  /// "name = Acropolis".
+  std::string ToString() const;
+
+  friend bool operator==(const AttributeClause&,
+                         const AttributeClause&) = default;
+};
+
+/// A contextual preference (paper Def. 5): in every context state
+/// denoted by `descriptor`, tuples satisfying `clause` carry
+/// `interest score` ∈ [0, 1] (1 = extreme interest, 0 = none).
+class ContextualPreference {
+ public:
+  /// Validates the score range. The descriptor is assumed to have been
+  /// created against the same environment the preference is used with.
+  static StatusOr<ContextualPreference> Create(CompositeDescriptor descriptor,
+                                               AttributeClause clause,
+                                               double score);
+
+  const CompositeDescriptor& descriptor() const { return descriptor_; }
+  const AttributeClause& clause() const { return clause_; }
+  double score() const { return score_; }
+
+  /// The context states Context(cod) this preference applies to.
+  std::vector<ContextState> States(const ContextEnvironment& env) const {
+    return descriptor_.EnumerateStates(env);
+  }
+
+  /// "(location = Plaka and temperature = warm), (name = Acropolis), 0.8".
+  std::string ToString(const ContextEnvironment& env) const;
+
+  friend bool operator==(const ContextualPreference& a,
+                         const ContextualPreference& b) {
+    // Descriptor equality by denoted semantics is expensive; preference
+    // identity is (clause, score) + descriptor parts textual identity,
+    // which is what profile deduplication needs. See Profile::Insert.
+    return a.score_ == b.score_ && a.clause_ == b.clause_ &&
+           a.descriptor_key_ == b.descriptor_key_;
+  }
+
+ private:
+  ContextualPreference(CompositeDescriptor descriptor, AttributeClause clause,
+                       double score);
+
+  CompositeDescriptor descriptor_;
+  AttributeClause clause_;
+  double score_;
+  /// Canonical structural key of the descriptor for cheap equality.
+  std::string descriptor_key_;
+};
+
+/// Paper Def. 6: two preferences conflict iff their contexts intersect,
+/// they constrain the same attribute the same way, and their scores
+/// differ.
+bool ConflictsWith(const ContextEnvironment& env,
+                   const ContextualPreference& a,
+                   const ContextualPreference& b);
+
+}  // namespace ctxpref
+
+#endif  // CTXPREF_PREFERENCE_PREFERENCE_H_

@@ -1,0 +1,103 @@
+#include "preference/profile_stats.h"
+
+#include <unordered_set>
+
+#include "preference/sequential_store.h"
+#include "util/string_util.h"
+
+namespace ctxpref {
+
+ProfileStats ComputeProfileStats(const Profile& profile,
+                                 size_t coverage_samples, uint64_t seed) {
+  const ContextEnvironment& env = profile.env();
+  const size_t n = env.size();
+  ProfileStats stats;
+  stats.num_preferences = profile.size();
+  stats.active_domain.assign(n, 0);
+  stats.level_histogram.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    stats.level_histogram[i].assign(
+        env.parameter(i).hierarchy().num_levels(), 0);
+  }
+
+  std::vector<Profile::FlatEntry> flat = profile.Flatten();
+  stats.flat_entries = flat.size();
+
+  std::unordered_set<ContextState, ContextStateHash> states;
+  std::vector<std::unordered_set<uint64_t>> values(n);
+  for (const Profile::FlatEntry& e : flat) {
+    if (states.insert(e.state).second) {
+      for (size_t i = 0; i < n; ++i) {
+        const ValueRef v = e.state.value(i);
+        values[i].insert((static_cast<uint64_t>(v.level) << 32) | v.id);
+        ++stats.level_histogram[i][v.level];
+      }
+    }
+  }
+  stats.distinct_states = states.size();
+  for (size_t i = 0; i < n; ++i) {
+    stats.active_domain[i] = values[i].size();
+  }
+
+  if (!profile.empty()) {
+    double sum = 0.0;
+    stats.min_score = 1.0;
+    stats.max_score = 0.0;
+    for (const ContextualPreference& pref : profile.preferences()) {
+      sum += pref.score();
+      stats.min_score = std::min(stats.min_score, pref.score());
+      stats.max_score = std::max(stats.max_score, pref.score());
+    }
+    stats.mean_score = sum / static_cast<double>(profile.size());
+  }
+
+  if (coverage_samples > 0 && !profile.empty()) {
+    // Sampled coverage: how often a random detailed state has at least
+    // one covering stored state.
+    SequentialStore store = SequentialStore::Build(profile);
+    Rng rng(seed);
+    size_t covered = 0;
+    for (size_t s = 0; s < coverage_samples; ++s) {
+      std::vector<ValueRef> components(n);
+      for (size_t i = 0; i < n; ++i) {
+        const Hierarchy& h = env.parameter(i).hierarchy();
+        components[i] =
+            ValueRef{0, static_cast<ValueId>(rng.Uniform(h.level_size(0)))};
+      }
+      ContextState state(std::move(components));
+      if (!store.SearchCovering(state).empty()) ++covered;
+    }
+    stats.coverage_samples = coverage_samples;
+    stats.coverage_estimate =
+        static_cast<double>(covered) / static_cast<double>(coverage_samples);
+  }
+  return stats;
+}
+
+std::string ProfileStats::ToString(const ContextEnvironment& env) const {
+  std::string out;
+  out += "preferences:      " + std::to_string(num_preferences) + "\n";
+  out += "distinct states:  " + std::to_string(distinct_states) + "\n";
+  out += "flat entries:     " + std::to_string(flat_entries) + "\n";
+  out += "scores:           min " + FormatDouble(min_score, 3) + ", mean " +
+         FormatDouble(mean_score, 3) + ", max " + FormatDouble(max_score, 3) +
+         "\n";
+  for (size_t i = 0; i < active_domain.size(); ++i) {
+    const Hierarchy& h = env.parameter(i).hierarchy();
+    out += "parameter " + env.parameter(i).name() + ": active domain " +
+           std::to_string(active_domain[i]) + "; level usage";
+    for (size_t l = 0; l < level_histogram[i].size(); ++l) {
+      out += " " + h.level_name(static_cast<LevelIndex>(l)) + "=" +
+             std::to_string(level_histogram[i][l]);
+    }
+    out += "\n";
+  }
+  if (coverage_samples > 0) {
+    out += "coverage:         " +
+           FormatDouble(100.0 * coverage_estimate, 1) + "% of " +
+           std::to_string(coverage_samples) + " sampled detailed states\n";
+  }
+  return out;
+}
+
+}  // namespace ctxpref

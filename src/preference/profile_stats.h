@@ -1,0 +1,52 @@
+#ifndef CTXPREF_PREFERENCE_PROFILE_STATS_H_
+#define CTXPREF_PREFERENCE_PROFILE_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "preference/profile.h"
+#include "util/random.h"
+
+namespace ctxpref {
+
+/// Introspection over a profile: the quantities the paper's size and
+/// ordering analyses (§3.3, §5.2) reason about, computed exactly, plus
+/// a sampled estimate of context coverage. Used by tooling (the CLI's
+/// `stats`), tests, and the benches' sanity output.
+struct ProfileStats {
+  size_t num_preferences = 0;
+  /// Distinct context states across all descriptors.
+  size_t distinct_states = 0;
+  /// Expanded (state, clause, score) entries.
+  size_t flat_entries = 0;
+
+  /// Per parameter, in environment order:
+  /// distinct extended-domain values appearing in stored states.
+  std::vector<uint64_t> active_domain;
+  /// Per parameter: histogram over hierarchy levels (index = level) of
+  /// the values appearing in stored states.
+  std::vector<std::vector<size_t>> level_histogram;
+
+  /// Score distribution.
+  double min_score = 0.0;
+  double max_score = 0.0;
+  double mean_score = 0.0;
+
+  /// Fraction of sampled detailed world states covered by at least one
+  /// stored state (Def. 10), estimated over `coverage_samples` states.
+  double coverage_estimate = 0.0;
+  size_t coverage_samples = 0;
+
+  /// Multi-line human-readable report.
+  std::string ToString(const ContextEnvironment& env) const;
+};
+
+/// Computes stats for `profile`. `coverage_samples` detailed states are
+/// drawn uniformly (seeded) for the coverage estimate; 0 skips it.
+ProfileStats ComputeProfileStats(const Profile& profile,
+                                 size_t coverage_samples = 2000,
+                                 uint64_t seed = 1);
+
+}  // namespace ctxpref
+
+#endif  // CTXPREF_PREFERENCE_PROFILE_STATS_H_

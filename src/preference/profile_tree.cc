@@ -1,0 +1,183 @@
+#include "preference/profile_tree.h"
+
+#include "util/string_util.h"
+
+namespace ctxpref {
+
+ProfileTree::ProfileTree(EnvironmentPtr env, Ordering order)
+    : env_(std::move(env)),
+      order_(std::move(order)),
+      root_(std::make_unique<Node>()) {
+  assert(order_.size() == env_->size());
+}
+
+StatusOr<ProfileTree> ProfileTree::Build(const Profile& profile,
+                                         const Ordering& order) {
+  if (order.size() != profile.env().size()) {
+    return Status::InvalidArgument("ordering size does not match environment");
+  }
+  ProfileTree tree(profile.env_ptr(), order);
+  for (const ContextualPreference& pref : profile.preferences()) {
+    CTXPREF_RETURN_IF_ERROR(tree.Insert(pref));
+  }
+  return tree;
+}
+
+StatusOr<ProfileTree> ProfileTree::Build(const Profile& profile) {
+  return Build(profile, GreedyOrdering(profile));
+}
+
+ProfileTree::Node* ProfileTree::Descend(const ContextState& state,
+                                        bool create) {
+  Node* node = root_.get();
+  const size_t n = env_->size();
+  for (size_t level = 0; level < n; ++level) {
+    const ValueRef key = state.value(order_.param_at_level(level));
+    Node* next = nullptr;
+    for (Node::Cell& cell : node->cells) {
+      if (cell.key == key) {
+        next = cell.child.get();
+        break;
+      }
+    }
+    if (next == nullptr) {
+      if (!create) return nullptr;
+      node->cells.push_back(Node::Cell{key, std::make_unique<Node>()});
+      ++cell_count_;
+      ++node_count_;
+      next = node->cells.back().child.get();
+      if (level + 1 == n) ++path_count_;  // A new leaf was created.
+    }
+    node = next;
+  }
+  return node;
+}
+
+Status ProfileTree::InsertState(const ContextState& state,
+                                const AttributeClause& clause, double score) {
+  Node* leaf = Descend(state, /*create=*/true);
+  for (LeafEntry& e : leaf->entries) {
+    if (e.clause == clause) {
+      if (e.score == score) {
+        ++e.ref;  // Shared by another preference.
+        return Status::OK();
+      }
+      return Status::Conflict(
+          "state " + state.ToString(*env_) + " already scores clause '" +
+          clause.ToString() + "' at " + FormatDouble(e.score) +
+          "; refusing new score " + FormatDouble(score));
+    }
+  }
+  leaf->entries.push_back(LeafEntry{clause, score});
+  ++leaf_entry_count_;
+  return Status::OK();
+}
+
+Status ProfileTree::Insert(const ContextualPreference& pref) {
+  std::vector<ContextState> states = pref.States(*env_);
+  // Pass 1: conflict check only, so a failed insert leaves the tree
+  // untouched (a single root-to-leaf traversal per state, paper §3.3).
+  for (const ContextState& s : states) {
+    const Node* leaf = Descend(s, /*create=*/false);
+    if (leaf == nullptr) continue;
+    for (const LeafEntry& e : leaf->entries) {
+      if (e.clause == pref.clause() && e.score != pref.score()) {
+        return Status::Conflict(
+            "preference conflicts at state " + s.ToString(*env_) +
+            ": clause '" + pref.clause().ToString() + "' already scored " +
+            FormatDouble(e.score));
+      }
+    }
+  }
+  // Pass 2: materialize paths.
+  for (const ContextState& s : states) {
+    CTXPREF_RETURN_IF_ERROR(InsertState(s, pref.clause(), pref.score()));
+  }
+  return Status::OK();
+}
+
+Status ProfileTree::RemoveState(const ContextState& state,
+                                const AttributeClause& clause, double score) {
+  // Collect the node chain for pruning.
+  std::vector<Node*> chain = {root_.get()};
+  const size_t n = env_->size();
+  for (size_t level = 0; level < n; ++level) {
+    const ValueRef key = state.value(order_.param_at_level(level));
+    Node* next = nullptr;
+    for (Node::Cell& cell : chain.back()->cells) {
+      if (cell.key == key) {
+        next = cell.child.get();
+        break;
+      }
+    }
+    if (next == nullptr) {
+      return Status::NotFound("no path for state " + state.ToString(*env_));
+    }
+    chain.push_back(next);
+  }
+  Node* leaf = chain.back();
+  bool erased = false;
+  for (auto it = leaf->entries.begin(); it != leaf->entries.end(); ++it) {
+    if (it->clause == clause && it->score == score) {
+      if (--it->ref > 0) return Status::OK();  // Still shared.
+      leaf->entries.erase(it);
+      --leaf_entry_count_;
+      erased = true;
+      break;
+    }
+  }
+  if (!erased) {
+    return Status::NotFound("no entry (" + clause.ToString() + ", " +
+                            FormatDouble(score) + ") at state " +
+                            state.ToString(*env_));
+  }
+  if (!leaf->entries.empty()) return Status::OK();
+
+  // The path is dead: prune childless nodes bottom-up.
+  --path_count_;
+  for (size_t level = n; level > 0; --level) {
+    Node* child = chain[level];
+    if (!child->cells.empty() || !child->entries.empty()) break;
+    Node* parent = chain[level - 1];
+    const ValueRef key = state.value(order_.param_at_level(level - 1));
+    for (auto it = parent->cells.begin(); it != parent->cells.end(); ++it) {
+      if (it->key == key) {
+        parent->cells.erase(it);
+        --cell_count_;
+        --node_count_;
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ProfileTree::Remove(const ContextualPreference& pref) {
+  for (const ContextState& s : pref.States(*env_)) {
+    CTXPREF_RETURN_IF_ERROR(RemoveState(s, pref.clause(), pref.score()));
+  }
+  return Status::OK();
+}
+
+const std::vector<ProfileTree::LeafEntry>* ProfileTree::ExactLookup(
+    const ContextState& state, AccessCounter* counter) const {
+  const Node* node = root_.get();
+  const size_t n = env_->size();
+  for (size_t level = 0; level < n; ++level) {
+    const ValueRef key = state.value(order_.param_at_level(level));
+    const Node* next = nullptr;
+    for (const Node::Cell& cell : node->cells) {
+      if (counter != nullptr) counter->AddCell();
+      if (cell.key == key) {
+        next = cell.child.get();
+        break;
+      }
+    }
+    if (next == nullptr) return nullptr;
+    if (counter != nullptr) counter->AddNode();
+    node = next;
+  }
+  return &node->entries;
+}
+
+}  // namespace ctxpref

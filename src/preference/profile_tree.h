@@ -1,0 +1,146 @@
+#ifndef CTXPREF_PREFERENCE_PROFILE_TREE_H_
+#define CTXPREF_PREFERENCE_PROFILE_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "context/environment.h"
+#include "context/state.h"
+#include "preference/ordering.h"
+#include "preference/preference.h"
+#include "preference/profile.h"
+#include "util/counters.h"
+#include "util/status.h"
+
+namespace ctxpref {
+
+/// The profile tree (paper §3.3): a trie over context states. Level i
+/// is keyed by the parameter `ordering.param_at_level(i)`; each
+/// root-to-leaf path is one context state appearing in the profile, and
+/// the leaf stores the attribute clauses and interest scores applicable
+/// in that state. Conflicting preferences (Def. 6) are rejected during
+/// insertion by a single root-to-leaf traversal, exactly as the paper
+/// describes.
+///
+/// Cells within a node are kept in insertion order and searched
+/// linearly — deliberately mirroring the paper's cost model, whose
+/// per-node worst case is |edom(Ci)| cell inspections; all traversals
+/// tick the optional `AccessCounter` per inspected cell so Fig. 7 can
+/// be measured rather than estimated.
+class ProfileTree {
+ public:
+  /// What a leaf holds per applicable preference: `(Ai θ a, score)`.
+  /// `ref` counts how many distinct preferences contributed this exact
+  /// entry (several descriptors may denote the same state with the
+  /// same clause and score); removal only erases at zero.
+  struct LeafEntry {
+    AttributeClause clause;
+    double score;
+    uint32_t ref = 1;
+  };
+
+  /// A tree node. Internal nodes hold `[key, pointer]` cells; leaf
+  /// nodes hold the entries. Exposed (read-only) so the resolver in
+  /// `resolution.h` can walk the structure.
+  struct Node {
+    struct Cell {
+      ValueRef key;
+      std::unique_ptr<Node> child;
+    };
+    std::vector<Cell> cells;        ///< Internal levels.
+    std::vector<LeafEntry> entries; ///< Leaf level only.
+  };
+
+  /// Byte-cost model used by `ByteSize()` (paper Fig. 5 right): a cell
+  /// is a key plus a pointer; a leaf entry is an attribute reference, a
+  /// value and a score; serial storage (the baseline) spends
+  /// `kSerialValueBytes` per state component plus one leaf entry per
+  /// flat preference. See `sequential_store.h` for the serial side.
+  static constexpr size_t kCellBytes = 16;        // 8 key + 8 pointer
+  static constexpr size_t kLeafEntryBytes = 24;   // attr + value + score
+  static constexpr size_t kSerialValueBytes = 8;
+
+  /// An empty tree over `env` with the given parameter-to-level
+  /// assignment (`order.size()` must equal `env->size()`).
+  ProfileTree(EnvironmentPtr env, Ordering order);
+
+  ProfileTree(ProfileTree&&) = default;
+  ProfileTree& operator=(ProfileTree&&) = default;
+
+  /// Indexes every preference of `profile` under `order`.
+  /// `profile` must be conflict-free (it is, by construction).
+  static StatusOr<ProfileTree> Build(const Profile& profile,
+                                     const Ordering& order);
+
+  /// Indexes `profile` under `GreedyOrdering(profile)`.
+  static StatusOr<ProfileTree> Build(const Profile& profile);
+
+  const ContextEnvironment& env() const { return *env_; }
+  const Ordering& ordering() const { return order_; }
+  const Node& root() const { return *root_; }
+
+  /// Inserts every state of `pref`'s descriptor. Errors with Conflict
+  /// (Def. 6) if any path already carries the same clause with a
+  /// different score; the tree is left unchanged on conflict (the
+  /// conflicting insertion is checked before any path is created).
+  Status Insert(const ContextualPreference& pref);
+
+  /// Inserts a single (state, clause, score) path. Identical existing
+  /// entries are deduplicated silently (OK); a same-clause entry with a
+  /// different score yields Conflict.
+  Status InsertState(const ContextState& state, const AttributeClause& clause,
+                     double score);
+
+  /// Removes the (state, clause, score) leaf entry, pruning cells that
+  /// become childless — the incremental counterpart of `InsertState`
+  /// that keeps the index in sync with profile deletions without a
+  /// rebuild. NotFound if the path or entry is absent.
+  Status RemoveState(const ContextState& state, const AttributeClause& clause,
+                     double score);
+
+  /// Removes every (state, clause, score) entry of `pref`. NotFound if
+  /// any of them is absent (the tree is still consistent: entries
+  /// found before the failure are removed — callers tracking a
+  /// conflict-free profile never hit this).
+  Status Remove(const ContextualPreference& pref);
+
+  /// Exact-match lookup (paper §4.4 first case): a single root-to-leaf
+  /// descent following the cell whose key equals the state's component
+  /// at each level. Returns the leaf's entries or nullptr when the
+  /// exact path does not exist. Ticks `counter` per inspected cell.
+  const std::vector<LeafEntry>* ExactLookup(const ContextState& state,
+                                            AccessCounter* counter = nullptr) const;
+
+  /// ---- Size accounting (paper Fig. 5/6) ----
+
+  /// Total `[key, pointer]` cells over all internal nodes.
+  size_t CellCount() const { return cell_count_; }
+  /// Internal + leaf nodes.
+  size_t NodeCount() const { return node_count_; }
+  /// Distinct root-to-leaf paths (= distinct context states stored).
+  size_t PathCount() const { return path_count_; }
+  /// Total leaf entries.
+  size_t LeafEntryCount() const { return leaf_entry_count_; }
+  /// Cells·kCellBytes + leaf entries·kLeafEntryBytes.
+  size_t ByteSize() const {
+    return cell_count_ * kCellBytes + leaf_entry_count_ * kLeafEntryBytes;
+  }
+
+ private:
+  /// Walks the path for `state`, creating nodes as needed when
+  /// `create` is true; returns the leaf (or nullptr when not found and
+  /// `create` is false).
+  Node* Descend(const ContextState& state, bool create);
+
+  EnvironmentPtr env_;
+  Ordering order_;
+  std::unique_ptr<Node> root_;
+  size_t cell_count_ = 0;
+  size_t node_count_ = 1;  // root
+  size_t path_count_ = 0;
+  size_t leaf_entry_count_ = 0;
+};
+
+}  // namespace ctxpref
+
+#endif  // CTXPREF_PREFERENCE_PROFILE_TREE_H_

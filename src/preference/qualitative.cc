@@ -1,0 +1,177 @@
+#include "preference/qualitative.h"
+
+#include <algorithm>
+
+#include "context/distance.h"
+
+namespace ctxpref {
+
+namespace {
+
+bool MatchesAll(const std::vector<db::Predicate>& preds,
+                const db::Tuple& tuple) {
+  for (const db::Predicate& p : preds) {
+    if (!p.Eval(tuple)) return false;
+  }
+  return true;
+}
+
+std::string PredicatesToString(const std::vector<db::Predicate>& preds,
+                               const db::Schema& schema) {
+  if (preds.empty()) return "<any>";
+  std::string out;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    if (i > 0) out += " and ";
+    out += preds[i].ToString(schema);
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<QualitativePreference> QualitativePreference::Create(
+    CompositeDescriptor descriptor, std::vector<db::Predicate> better,
+    std::vector<db::Predicate> worse) {
+  if (better.empty() && worse.empty()) {
+    return Status::InvalidArgument(
+        "qualitative preference needs at least one side predicated "
+        "(better/worse both empty would prefer everything to everything)");
+  }
+  return QualitativePreference(std::move(descriptor), std::move(better),
+                               std::move(worse));
+}
+
+bool QualitativePreference::Dominates(const db::Tuple& t1,
+                                      const db::Tuple& t2) const {
+  return MatchesAll(better_, t1) && MatchesAll(worse_, t2);
+}
+
+std::string QualitativePreference::ToString(const ContextEnvironment& env,
+                                            const db::Schema& schema) const {
+  return "[" + descriptor_.ToString(env) + "] (" +
+         PredicatesToString(better_, schema) + ") > (" +
+         PredicatesToString(worse_, schema) + ")";
+}
+
+Status QualitativeProfile::Insert(QualitativePreference pref) {
+  const size_t idx = prefs_.size();
+  for (const ContextState& s : pref.descriptor().EnumerateStates(*env_)) {
+    CTXPREF_RETURN_IF_ERROR(s.Validate(*env_));
+    index_.GetOrCreate(s).push_back(idx);
+  }
+  prefs_.push_back(std::move(pref));
+  return Status::OK();
+}
+
+std::vector<const QualitativePreference*> QualitativeProfile::Resolve(
+    const ContextState& query, DistanceKind distance,
+    AccessCounter* counter) const {
+  // Collect covering states with distances, keep the minimum-distance
+  // set (ties included), and return their preferences.
+  struct Candidate {
+    double dist;
+    const std::vector<size_t>* pref_ids;
+  };
+  std::vector<Candidate> candidates;
+  index_.VisitCovering(
+      query,
+      [&](const ContextState& stored, const std::vector<size_t>& ids) {
+        candidates.push_back(
+            Candidate{StateDistance(distance, *env_, stored, query), &ids});
+      },
+      counter);
+  if (candidates.empty()) return {};
+  double best = candidates.front().dist;
+  for (const Candidate& c : candidates) best = std::min(best, c.dist);
+
+  std::vector<const QualitativePreference*> out;
+  std::vector<bool> taken(prefs_.size(), false);
+  for (const Candidate& c : candidates) {
+    if (c.dist != best) continue;
+    for (size_t id : *c.pref_ids) {
+      if (!taken[id]) {
+        taken[id] = true;
+        out.push_back(&prefs_[id]);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<db::RowId> Winnow(
+    const db::Relation& relation,
+    const std::vector<const QualitativePreference*>& prefs) {
+  std::vector<db::RowId> out;
+  for (db::RowId i = 0; i < relation.size(); ++i) {
+    bool dominated = false;
+    for (db::RowId j = 0; j < relation.size() && !dominated; ++j) {
+      if (i == j) continue;
+      for (const QualitativePreference* p : prefs) {
+        if (p->Dominates(relation.row(j), relation.row(i))) {
+          dominated = true;
+          break;
+        }
+      }
+    }
+    if (!dominated) out.push_back(i);
+  }
+  return out;
+}
+
+int PreferenceOpinion(const QualitativePreference& pref, const db::Tuple& t1,
+                      const db::Tuple& t2) {
+  const bool fwd = pref.Dominates(t1, t2);
+  const bool bwd = pref.Dominates(t2, t1);
+  if (fwd && !bwd) return 1;
+  if (bwd && !fwd) return -1;
+  return 0;
+}
+
+bool ParetoDominates(const std::vector<const QualitativePreference*>& prefs,
+                     const db::Tuple& t1, const db::Tuple& t2) {
+  bool any_strict = false;
+  for (const QualitativePreference* p : prefs) {
+    const int opinion = PreferenceOpinion(*p, t1, t2);
+    if (opinion < 0) return false;
+    if (opinion > 0) any_strict = true;
+  }
+  return any_strict;
+}
+
+bool PrioritizedDominates(
+    const std::vector<const QualitativePreference*>& prefs,
+    const db::Tuple& t1, const db::Tuple& t2) {
+  for (const QualitativePreference* p : prefs) {
+    const int opinion = PreferenceOpinion(*p, t1, t2);
+    if (opinion != 0) return opinion > 0;
+  }
+  return false;
+}
+
+std::vector<db::RowId> WinnowWith(
+    const db::Relation& relation,
+    const std::function<bool(const db::Tuple&, const db::Tuple&)>& dominates) {
+  std::vector<db::RowId> out;
+  for (db::RowId i = 0; i < relation.size(); ++i) {
+    bool dominated = false;
+    for (db::RowId j = 0; j < relation.size() && !dominated; ++j) {
+      if (i != j && dominates(relation.row(j), relation.row(i))) {
+        dominated = true;
+      }
+    }
+    if (!dominated) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<db::RowId> ContextualWinnow(const db::Relation& relation,
+                                        const QualitativeProfile& profile,
+                                        const ContextState& query,
+                                        DistanceKind distance,
+                                        AccessCounter* counter) {
+  std::vector<const QualitativePreference*> prefs =
+      profile.Resolve(query, distance, counter);
+  return Winnow(relation, prefs);
+}
+
+}  // namespace ctxpref

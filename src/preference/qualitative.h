@@ -1,0 +1,146 @@
+#ifndef CTXPREF_PREFERENCE_QUALITATIVE_H_
+#define CTXPREF_PREFERENCE_QUALITATIVE_H_
+
+#include <string>
+#include <vector>
+
+#include "context/descriptor.h"
+#include "db/predicate.h"
+#include "db/relation.h"
+#include "preference/context_trie.h"
+#include "preference/resolution.h"
+#include "util/counters.h"
+#include "util/status.h"
+
+namespace ctxpref {
+
+/// Qualitative contextual preferences.
+///
+/// The paper's preference model is quantitative (scores), but §3.2
+/// notes "our context model can be used for extending both quantitative
+/// and qualitative approaches", citing Chomicki's preference formulas
+/// for the qualitative side. This module is that extension: a
+/// contextual preference relation states that, within the context
+/// states of its descriptor, tuples satisfying `better` are strictly
+/// preferred to tuples satisfying `worse`. The query operator is
+/// winnow / BMO: return the tuples not dominated by any other tuple
+/// under the preferences resolved for the query context.
+///
+/// Resolution reuses the paper's machinery verbatim: the applicable
+/// preferences are those of the *most specific covering* context
+/// states (Def. 12 via covers + distance), found with a Search_CS
+/// traversal over a context trie.
+
+/// One qualitative preference: in the scope of `descriptor`,
+/// better-tuples ≻ worse-tuples.
+class QualitativePreference {
+ public:
+  /// `better` and `worse` are conjunctions of predicates over the
+  /// relation the profile will be evaluated against; either may be
+  /// empty (matching every tuple), but not both.
+  static StatusOr<QualitativePreference> Create(
+      CompositeDescriptor descriptor, std::vector<db::Predicate> better,
+      std::vector<db::Predicate> worse);
+
+  const CompositeDescriptor& descriptor() const { return descriptor_; }
+  const std::vector<db::Predicate>& better() const { return better_; }
+  const std::vector<db::Predicate>& worse() const { return worse_; }
+
+  /// True iff `t1 ≻ t2` under this preference (ignoring context).
+  bool Dominates(const db::Tuple& t1, const db::Tuple& t2) const;
+
+  std::string ToString(const ContextEnvironment& env,
+                       const db::Schema& schema) const;
+
+ private:
+  QualitativePreference(CompositeDescriptor descriptor,
+                        std::vector<db::Predicate> better,
+                        std::vector<db::Predicate> worse)
+      : descriptor_(std::move(descriptor)),
+        better_(std::move(better)),
+        worse_(std::move(worse)) {}
+
+  CompositeDescriptor descriptor_;
+  std::vector<db::Predicate> better_;
+  std::vector<db::Predicate> worse_;
+};
+
+/// A set of qualitative contextual preferences with context-indexed
+/// lookup.
+class QualitativeProfile {
+ public:
+  explicit QualitativeProfile(EnvironmentPtr env)
+      : env_(std::move(env)), index_(env_) {}
+
+  const ContextEnvironment& env() const { return *env_; }
+  size_t size() const { return prefs_.size(); }
+  const QualitativePreference& preference(size_t i) const {
+    return prefs_[i];
+  }
+
+  /// Adds a preference, indexing it under every state of its
+  /// descriptor.
+  Status Insert(QualitativePreference pref);
+
+  /// Context resolution (paper §4): the preferences attached to the
+  /// minimum-distance covering states of `query`. Ties keep all tied
+  /// states' preferences. Empty when nothing covers the query.
+  std::vector<const QualitativePreference*> Resolve(
+      const ContextState& query,
+      DistanceKind distance = DistanceKind::kHierarchy,
+      AccessCounter* counter = nullptr) const;
+
+ private:
+  EnvironmentPtr env_;
+  std::vector<QualitativePreference> prefs_;
+  /// state -> indices into prefs_.
+  ContextTrie<std::vector<size_t>> index_;
+};
+
+/// Winnow / best-matches-only: the tuples of `relation` not dominated
+/// by any other tuple under any of `prefs`. Mutually dominating tuples
+/// eliminate each other (standard strict-winnow semantics). O(n²·|P|).
+std::vector<db::RowId> Winnow(
+    const db::Relation& relation,
+    const std::vector<const QualitativePreference*>& prefs);
+
+/// Contextual winnow: resolves `query` against `profile`, then winnows
+/// `relation` with the resolved preferences. When no preference
+/// applies, every tuple is undominated (the full relation is
+/// returned), mirroring the paper's non-contextual fallback.
+std::vector<db::RowId> ContextualWinnow(
+    const db::Relation& relation, const QualitativeProfile& profile,
+    const ContextState& query,
+    DistanceKind distance = DistanceKind::kHierarchy,
+    AccessCounter* counter = nullptr);
+
+/// ---- Composition operators (Chomicki-style) ----
+///
+/// `Winnow` above treats the resolved preferences as a union of
+/// dominance edges. These composers give the alternative semantics:
+///
+/// One preference's opinion on an ordered pair: +1 (first strictly
+/// preferred), -1 (second strictly preferred), 0 (no strict opinion —
+/// includes the degenerate mutual-domination case).
+int PreferenceOpinion(const QualitativePreference& pref, const db::Tuple& t1,
+                      const db::Tuple& t2);
+
+/// Pareto composition: t1 ≻ t2 iff no preference prefers t2 and at
+/// least one prefers t1.
+bool ParetoDominates(const std::vector<const QualitativePreference*>& prefs,
+                     const db::Tuple& t1, const db::Tuple& t2);
+
+/// Prioritized composition: the first preference (in list order) with
+/// a strict opinion decides.
+bool PrioritizedDominates(
+    const std::vector<const QualitativePreference*>& prefs,
+    const db::Tuple& t1, const db::Tuple& t2);
+
+/// Winnow under an arbitrary dominance relation.
+std::vector<db::RowId> WinnowWith(
+    const db::Relation& relation,
+    const std::function<bool(const db::Tuple&, const db::Tuple&)>& dominates);
+
+}  // namespace ctxpref
+
+#endif  // CTXPREF_PREFERENCE_QUALITATIVE_H_

@@ -1,0 +1,193 @@
+#include "preference/query_cache.h"
+
+namespace ctxpref {
+
+ContextQueryTree::ContextQueryTree(EnvironmentPtr env, Ordering order,
+                                   size_t capacity)
+    : env_(std::move(env)),
+      order_(std::move(order)),
+      capacity_(capacity),
+      root_(std::make_unique<Node>()) {
+  assert(order_.size() == env_->size());
+}
+
+ContextQueryTree::Node* ContextQueryTree::Descend(const ContextState& state,
+                                                  bool create,
+                                                  AccessCounter* counter) {
+  Node* node = root_.get();
+  for (size_t level = 0; level < env_->size(); ++level) {
+    const ValueRef key = state.value(order_.param_at_level(level));
+    Node* next = nullptr;
+    for (Node::Cell& cell : node->cells) {
+      if (counter != nullptr) counter->AddCell();
+      if (cell.key == key) {
+        next = cell.child.get();
+        break;
+      }
+    }
+    if (next == nullptr) {
+      if (!create) return nullptr;
+      node->cells.push_back(Node::Cell{key, std::make_unique<Node>()});
+      next = node->cells.back().child.get();
+    }
+    node = next;
+  }
+  return node;
+}
+
+void ContextQueryTree::RemovePath(const ContextState& state) {
+  // Collect the node chain, then erase the deepest link whose subtree
+  // becomes empty.
+  std::vector<Node*> chain = {root_.get()};
+  for (size_t level = 0; level < env_->size(); ++level) {
+    const ValueRef key = state.value(order_.param_at_level(level));
+    Node* next = nullptr;
+    for (Node::Cell& cell : chain.back()->cells) {
+      if (cell.key == key) {
+        next = cell.child.get();
+        break;
+      }
+    }
+    if (next == nullptr) return;  // Path absent; nothing to remove.
+    chain.push_back(next);
+  }
+  chain.back()->leaf.reset();
+  // Prune empty nodes bottom-up.
+  for (size_t level = env_->size(); level > 0; --level) {
+    Node* child = chain[level];
+    if (!child->cells.empty() || child->leaf != nullptr) break;
+    Node* parent = chain[level - 1];
+    const ValueRef key = state.value(order_.param_at_level(level - 1));
+    for (auto it = parent->cells.begin(); it != parent->cells.end(); ++it) {
+      if (it->key == key) {
+        parent->cells.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+const std::vector<db::ScoredTuple>* ContextQueryTree::Lookup(
+    const ContextState& state, uint64_t profile_version,
+    AccessCounter* counter) {
+  Node* node = Descend(state, /*create=*/false, counter);
+  if (node == nullptr || node->leaf == nullptr) {
+    ++misses_;
+    return nullptr;
+  }
+  if (node->leaf->version != profile_version) {
+    // Stale: computed against an older profile. Drop on touch.
+    lru_.erase(node->leaf->lru_it);
+    RemovePath(state);
+    --size_;
+    ++misses_;
+    return nullptr;
+  }
+  // Refresh LRU position.
+  lru_.splice(lru_.begin(), lru_, node->leaf->lru_it);
+  ++hits_;
+  return &node->leaf->tuples;
+}
+
+void ContextQueryTree::Put(const ContextState& state, uint64_t profile_version,
+                           std::vector<db::ScoredTuple> tuples) {
+  Node* node = Descend(state, /*create=*/true, nullptr);
+  if (node->leaf != nullptr) {
+    // Overwrite in place.
+    node->leaf->tuples = std::move(tuples);
+    node->leaf->version = profile_version;
+    lru_.splice(lru_.begin(), lru_, node->leaf->lru_it);
+    return;
+  }
+  lru_.push_front(state);
+  node->leaf = std::make_unique<Leaf>();
+  node->leaf->tuples = std::move(tuples);
+  node->leaf->version = profile_version;
+  node->leaf->lru_it = lru_.begin();
+  ++size_;
+
+  if (capacity_ > 0 && size_ > capacity_) {
+    const ContextState victim = lru_.back();
+    lru_.pop_back();
+    RemovePath(victim);
+    --size_;
+    ++evictions_;
+  }
+}
+
+void ContextQueryTree::InvalidateAll() {
+  root_ = std::make_unique<Node>();
+  lru_.clear();
+  size_ = 0;
+}
+
+StatusOr<QueryResult> CachedRankCS(const db::Relation& relation,
+                                   const ContextualQuery& query,
+                                   const TreeResolver& resolver,
+                                   const Profile& profile,
+                                   ContextQueryTree& cache,
+                                   const QueryOptions& options,
+                                   AccessCounter* counter) {
+  if (options.combine != db::CombinePolicy::kMax &&
+      options.combine != db::CombinePolicy::kMin) {
+    return Status::InvalidArgument(
+        "CachedRankCS requires an associative combine policy (max or min)");
+  }
+  const ContextEnvironment& env = resolver.tree().env();
+  QueryResult result;
+  db::Ranker ranker(options.combine);
+
+  std::vector<ContextState> states = query.context.EnumerateStates(env);
+  if (states.empty()) states.push_back(ContextState::AllState(env));
+
+  for (const ContextState& s : states) {
+    CTXPREF_RETURN_IF_ERROR(s.Validate(env));
+    const std::vector<db::ScoredTuple>* cached =
+        cache.Lookup(s, profile.version(), counter);
+    std::vector<db::ScoredTuple> per_state;
+    if (cached != nullptr) {
+      per_state = *cached;
+      result.traces.push_back(QueryResult::Trace{s, {}});
+    } else {
+      // Compute this state's contribution with plain Rank_CS, then
+      // populate the cache.
+      ContextualQuery single;
+      single.context = ExtendedDescriptor();
+      std::vector<CandidatePath> best =
+          resolver.ResolveBest(s, options.resolution, counter);
+      db::Ranker state_ranker(options.combine);
+      for (const CandidatePath& cand : best) {
+        for (const ProfileTree::LeafEntry& entry : cand.entries) {
+          StatusOr<db::Predicate> pred =
+              db::Predicate::Create(relation.schema(), entry.clause.attribute,
+                                    entry.clause.op, entry.clause.value);
+          if (!pred.ok()) return pred.status();
+          for (db::RowId row : relation.Select(*pred)) {
+            state_ranker.Add(row, entry.score);
+          }
+        }
+      }
+      per_state = state_ranker.Ranked();
+      cache.Put(s, profile.version(), per_state);
+      result.traces.push_back(QueryResult::Trace{s, std::move(best)});
+    }
+    for (const db::ScoredTuple& t : per_state) {
+      // Re-apply the query's restricting selections: cached lists are
+      // selection-agnostic (keyed by context state only).
+      bool eligible = true;
+      for (const db::Predicate& sel : query.selections) {
+        if (!sel.Eval(relation.row(t.row_id))) {
+          eligible = false;
+          break;
+        }
+      }
+      if (eligible) ranker.Add(t.row_id, t.score);
+    }
+  }
+
+  result.tuples =
+      options.top_k > 0 ? ranker.TopK(options.top_k) : ranker.Ranked();
+  return result;
+}
+
+}  // namespace ctxpref

@@ -1,0 +1,100 @@
+#ifndef CTXPREF_PREFERENCE_QUERY_CACHE_H_
+#define CTXPREF_PREFERENCE_QUERY_CACHE_H_
+
+#include <list>
+#include <memory>
+#include <vector>
+
+#include "db/ranker.h"
+#include "preference/contextual_query.h"
+#include "preference/ordering.h"
+#include "util/counters.h"
+
+namespace ctxpref {
+
+/// The context query tree: the paper's second index structure,
+/// announced in the contribution list ("caching the results of queries
+/// based on their context", §1/§7; the dedicated section is elided in
+/// the published text — this is our documented reconstruction, see
+/// DESIGN.md).
+///
+/// Structure: a trie isomorphic to the profile tree, keyed by *query*
+/// context states; each leaf caches the ranked tuples previously
+/// computed for that state. Entries are validated against the profile
+/// `version()` they were computed from and evicted LRU beyond
+/// `capacity`.
+class ContextQueryTree {
+ public:
+  /// `capacity` = maximum number of cached states (0 = unbounded).
+  ContextQueryTree(EnvironmentPtr env, Ordering order, size_t capacity = 0);
+
+  const ContextEnvironment& env() const { return *env_; }
+  size_t size() const { return size_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+
+  /// Returns the cached tuples for `state` if present and computed at
+  /// `profile_version`; stale entries are dropped on touch. Ticks
+  /// `counter` per inspected cell (the cache costs cells too).
+  const std::vector<db::ScoredTuple>* Lookup(const ContextState& state,
+                                             uint64_t profile_version,
+                                             AccessCounter* counter = nullptr);
+
+  /// Caches `tuples` for `state` at `profile_version`, evicting the
+  /// least-recently-used state beyond capacity.
+  void Put(const ContextState& state, uint64_t profile_version,
+           std::vector<db::ScoredTuple> tuples);
+
+  /// Drops every cached entry.
+  void InvalidateAll();
+
+ private:
+  struct Node;
+  struct Leaf {
+    std::vector<db::ScoredTuple> tuples;
+    uint64_t version = 0;
+    std::list<ContextState>::iterator lru_it;
+  };
+  struct Node {
+    struct Cell {
+      ValueRef key;
+      std::unique_ptr<Node> child;
+    };
+    std::vector<Cell> cells;
+    std::unique_ptr<Leaf> leaf;  // Set on leaf nodes only.
+  };
+
+  Node* Descend(const ContextState& state, bool create,
+                AccessCounter* counter);
+  /// Removes the path for `state` from the trie, pruning empty nodes.
+  void RemovePath(const ContextState& state);
+
+  EnvironmentPtr env_;
+  Ordering order_;
+  size_t capacity_;
+  std::unique_ptr<Node> root_;
+  std::list<ContextState> lru_;  ///< Front = most recently used.
+  size_t size_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+/// Rank_CS with per-state caching through a `ContextQueryTree`.
+///
+/// Each query state's ranked tuples are cached independently and the
+/// final answer combines the per-state lists under `options.combine`.
+/// Correctness therefore requires an *associative* combine policy —
+/// kMax or kMin; kAvg/kWeighted return InvalidArgument.
+StatusOr<QueryResult> CachedRankCS(const db::Relation& relation,
+                                   const ContextualQuery& query,
+                                   const TreeResolver& resolver,
+                                   const Profile& profile,
+                                   ContextQueryTree& cache,
+                                   const QueryOptions& options = {},
+                                   AccessCounter* counter = nullptr);
+
+}  // namespace ctxpref
+
+#endif  // CTXPREF_PREFERENCE_QUERY_CACHE_H_

@@ -1,0 +1,138 @@
+#include "preference/resolution.h"
+
+#include <unordered_set>
+
+namespace ctxpref {
+
+std::vector<CandidatePath> BestCandidates(
+    std::vector<CandidatePath> candidates) {
+  if (candidates.empty()) return candidates;
+  double best = candidates.front().distance;
+  for (const CandidatePath& c : candidates) {
+    if (c.distance < best) best = c.distance;
+  }
+  std::vector<CandidatePath> out;
+  for (CandidatePath& c : candidates) {
+    if (c.distance == best) out.push_back(std::move(c));
+  }
+  return out;
+}
+
+void TreeResolver::Recurse(const ProfileTree::Node& node, size_t level,
+                           const ContextState& query,
+                           const ResolutionOptions& options,
+                           double distance_so_far, std::vector<ValueRef>& path,
+                           std::vector<CandidatePath>& out,
+                           AccessCounter* counter) const {
+  const ContextEnvironment& env = tree_->env();
+  const size_t n = env.size();
+  if (level == n) {
+    // `node` is a leaf: emit the candidate (reorder path components
+    // from tree-level order back to environment order).
+    std::vector<ValueRef> values(n);
+    for (size_t l = 0; l < n; ++l) {
+      values[tree_->ordering().param_at_level(l)] = path[l];
+    }
+    out.push_back(CandidatePath{ContextState(std::move(values)),
+                                distance_so_far, node.entries});
+    return;
+  }
+
+  const size_t param = tree_->ordering().param_at_level(level);
+  const Hierarchy& h = env.parameter(param).hierarchy();
+  const ValueRef qv = query.value(param);
+
+  for (const ProfileTree::Node::Cell& cell : node.cells) {
+    if (counter != nullptr) counter->AddCell();
+    if (options.exact_only) {
+      if (cell.key != qv) continue;
+    } else if (!h.IsAncestorOrSelf(cell.key, qv)) {
+      continue;
+    }
+    double step = 0.0;
+    switch (options.distance) {
+      case DistanceKind::kHierarchy:
+        step = h.LevelDistance(cell.key.level, qv.level);
+        break;
+      case DistanceKind::kJaccard:
+        step = h.JaccardDistance(cell.key, qv);
+        break;
+    }
+    path.push_back(cell.key);
+    Recurse(*cell.child, level + 1, query, options, distance_so_far + step,
+            path, out, counter);
+    path.pop_back();
+  }
+}
+
+std::vector<CandidatePath> TreeResolver::SearchCS(
+    const ContextState& query, const ResolutionOptions& options,
+    AccessCounter* counter) const {
+  std::vector<CandidatePath> out;
+  std::vector<ValueRef> path;
+  path.reserve(tree_->env().size());
+  Recurse(tree_->root(), 0, query, options, 0.0, path, out, counter);
+  return out;
+}
+
+std::vector<CandidatePath> TieBreakByHierarchyDistance(
+    const ContextEnvironment& env, const ContextState& query,
+    std::vector<CandidatePath> candidates) {
+  if (candidates.size() <= 1) return candidates;
+  double best = HierarchyStateDistance(env, candidates.front().state, query);
+  std::vector<double> dist(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    dist[i] = HierarchyStateDistance(env, candidates[i].state, query);
+    best = std::min(best, dist[i]);
+  }
+  std::vector<CandidatePath> out;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (dist[i] == best) out.push_back(std::move(candidates[i]));
+  }
+  return out;
+}
+
+std::vector<CandidatePath> TreeResolver::ResolveBest(
+    const ContextState& query, const ResolutionOptions& options,
+    AccessCounter* counter) const {
+  std::vector<CandidatePath> best =
+      BestCandidates(SearchCS(query, options, counter));
+  if (options.distance == DistanceKind::kJaccard) {
+    best = TieBreakByHierarchyDistance(tree_->env(), query, std::move(best));
+  }
+  return best;
+}
+
+std::vector<ContextState> CoveringStates(const Profile& profile,
+                                         const ContextState& query) {
+  std::vector<ContextState> out;
+  std::unordered_set<ContextState, ContextStateHash> seen;
+  for (const ContextualPreference& pref : profile.preferences()) {
+    for (ContextState& s : pref.States(profile.env())) {
+      if (!s.Covers(profile.env(), query)) continue;
+      if (seen.insert(s).second) out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+std::vector<ContextState> FormalMatches(const Profile& profile,
+                                        const ContextState& query) {
+  std::vector<ContextState> covering = CoveringStates(profile, query);
+  std::vector<ContextState> out;
+  for (const ContextState& s : covering) {
+    bool minimal = true;
+    for (const ContextState& t : covering) {
+      if (t != s && s.Covers(profile.env(), t)) {
+        // Some other covering state t is strictly below s: s is not a
+        // match per Def. 12(ii).
+        minimal = false;
+        break;
+      }
+    }
+    if (minimal) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace ctxpref

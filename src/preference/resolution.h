@@ -1,0 +1,100 @@
+#ifndef CTXPREF_PREFERENCE_RESOLUTION_H_
+#define CTXPREF_PREFERENCE_RESOLUTION_H_
+
+#include <vector>
+
+#include "context/distance.h"
+#include "context/state.h"
+#include "preference/profile.h"
+#include "preference/profile_tree.h"
+#include "util/counters.h"
+
+namespace ctxpref {
+
+/// Options controlling context resolution (paper §4.2-4.4).
+struct ResolutionOptions {
+  /// Metric used to order covering candidates (paper §4.3).
+  DistanceKind distance = DistanceKind::kHierarchy;
+  /// When true, only the exact path is considered (paper §4.4 case 1).
+  bool exact_only = false;
+};
+
+/// One candidate produced by Search_CS: a stored context state that
+/// covers the query state, its distance from the query, and the leaf
+/// entries (attribute clauses + scores) applicable in it.
+struct CandidatePath {
+  ContextState state;
+  double distance = 0.0;
+  std::vector<ProfileTree::LeafEntry> entries;
+};
+
+/// Keeps only the minimum-distance candidates of `candidates` (several
+/// on ties — the paper leaves tie-breaking to the system or the user;
+/// `Rank_CS` consumes all tied candidates). Order is preserved.
+std::vector<CandidatePath> BestCandidates(std::vector<CandidatePath> candidates);
+
+/// Jaccard ties need a secondary key: in degenerate hierarchies an
+/// ancestor can have the *same* detailed extent as its child (see the
+/// Property-3 erratum in DESIGN.md), so two candidates along one
+/// covers-chain can tie at Jaccard distance 0 — and picking the upper
+/// one would violate Def. 12's minimality. The hierarchy distance is
+/// *strictly* covers-compatible (Property 2), so filtering Jaccard
+/// ties by minimum hierarchy distance always leaves formal matches.
+/// Applied automatically by the `ResolveBest` implementations when
+/// `options.distance == kJaccard`.
+std::vector<CandidatePath> TieBreakByHierarchyDistance(
+    const ContextEnvironment& env, const ContextState& query,
+    std::vector<CandidatePath> candidates);
+
+/// Resolution over the profile tree: the paper's Search_CS
+/// (Algorithm 1). The resolver borrows the tree (no ownership); the
+/// tree must outlive it.
+class TreeResolver {
+ public:
+  explicit TreeResolver(const ProfileTree* tree) : tree_(tree) {}
+
+  /// Search_CS: descends the tree from the root; at each level follows
+  /// every cell whose key equals the query component *or is one of its
+  /// ancestors* (including `all`), accumulating per-parameter distance.
+  /// Returns all covering candidate paths with their distances. Every
+  /// inspected cell ticks `counter`.
+  std::vector<CandidatePath> SearchCS(const ContextState& query,
+                                      const ResolutionOptions& options = {},
+                                      AccessCounter* counter = nullptr) const;
+
+  /// Search_CS followed by minimum-distance selection — the complete
+  /// context resolution step for one query state. Empty result means no
+  /// stored state covers the query (the query then runs as a
+  /// non-contextual query, paper §4.2).
+  std::vector<CandidatePath> ResolveBest(const ContextState& query,
+                                         const ResolutionOptions& options = {},
+                                         AccessCounter* counter = nullptr) const;
+
+  const ProfileTree& tree() const { return *tree_; }
+
+ private:
+  void Recurse(const ProfileTree::Node& node, size_t level,
+               const ContextState& query, const ResolutionOptions& options,
+               double distance_so_far, std::vector<ValueRef>& path,
+               std::vector<CandidatePath>& out, AccessCounter* counter) const;
+
+  const ProfileTree* tree_;
+};
+
+/// ---- Formal (specification-level) resolution, used by tests ----
+
+/// All distinct states stored in `profile` (expanded from descriptors)
+/// that cover `query` (Def. 10/11).
+std::vector<ContextState> CoveringStates(const Profile& profile,
+                                         const ContextState& query);
+
+/// The matches of Def. 12: covering states that are minimal under the
+/// covers partial order (no other covering state is covered by them).
+/// Property 2/3 guarantee the minimum-distance candidate of Search_CS
+/// is always one of these.
+std::vector<ContextState> FormalMatches(const Profile& profile,
+                                        const ContextState& query);
+
+}  // namespace ctxpref
+
+#endif  // CTXPREF_PREFERENCE_RESOLUTION_H_

@@ -1,0 +1,94 @@
+#ifndef CTXPREF_PREFERENCE_SEQUENTIAL_STORE_H_
+#define CTXPREF_PREFERENCE_SEQUENTIAL_STORE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "context/state.h"
+#include "preference/profile.h"
+#include "preference/resolution.h"
+#include "util/counters.h"
+
+namespace ctxpref {
+
+/// The paper's baseline for both storage (Fig. 5/6 "serial") and
+/// resolution cost (Fig. 7 "serial"): preferences kept as a flat list
+/// of (context state, clauses, scores) groups scanned sequentially.
+///
+/// Cost accounting mirrors §5.2: each stored state occupies one cell
+/// per context parameter value; scanning compares a query against a
+/// stored state component by component, ticking the counter per
+/// compared cell, with early exit on the first mismatch. Exact-match
+/// search stops at the first matching state; cover search must scan
+/// the entire store.
+class SequentialStore {
+ public:
+  /// One stored state with every clause applicable in it (grouped so a
+  /// state shared by several preferences is stored once, matching the
+  /// tree's leaf sharing).
+  struct Group {
+    ContextState state;
+    std::vector<ProfileTree::LeafEntry> entries;
+  };
+
+  explicit SequentialStore(EnvironmentPtr env) : env_(std::move(env)) {}
+
+  /// Flattens `profile` into state groups (first-appearance order).
+  static SequentialStore Build(const Profile& profile);
+
+  const ContextEnvironment& env() const { return *env_; }
+  size_t num_groups() const { return groups_.size(); }
+  const Group& group(size_t i) const { return groups_[i]; }
+
+  /// Adds one (state, clause, score); groups with an existing equal
+  /// state. No conflict checking — the source `Profile` already did it.
+  void Add(const ContextState& state, const AttributeClause& clause,
+           double score);
+
+  /// ---- Size accounting ----
+  ///
+  /// Serial storage materializes one record per stored preference
+  /// entry — its full context state (one cell per parameter) plus the
+  /// clause and score — with no prefix sharing; this is the paper's
+  /// "storing preferences sequentially" baseline of Fig. 5/6. (The
+  /// in-memory grouping by state above is a scan optimization and does
+  /// not change what serial storage must hold.)
+
+  /// One cell per state component per stored record.
+  size_t CellCount() const { return leaf_entry_count_ * env_->size(); }
+  size_t LeafEntryCount() const { return leaf_entry_count_; }
+  size_t ByteSize() const {
+    return CellCount() * ProfileTree::kSerialValueBytes +
+           leaf_entry_count_ * ProfileTree::kLeafEntryBytes;
+  }
+
+  /// ---- Resolution (baseline semantics of §4.4 / Fig. 7) ----
+
+  /// Scans until the first group whose state equals `query`; returns it
+  /// as a zero-distance candidate, or empty if absent.
+  std::vector<CandidatePath> SearchExact(const ContextState& query,
+                                         AccessCounter* counter = nullptr) const;
+
+  /// Scans the whole store collecting every group whose state covers
+  /// `query`, with distances per `options.distance`.
+  std::vector<CandidatePath> SearchCovering(
+      const ContextState& query, const ResolutionOptions& options = {},
+      AccessCounter* counter = nullptr) const;
+
+  /// SearchCovering (or SearchExact when `options.exact_only`) followed
+  /// by minimum-distance selection — same contract as
+  /// `TreeResolver::ResolveBest`.
+  std::vector<CandidatePath> ResolveBest(const ContextState& query,
+                                         const ResolutionOptions& options = {},
+                                         AccessCounter* counter = nullptr) const;
+
+ private:
+  EnvironmentPtr env_;
+  std::vector<Group> groups_;
+  std::unordered_map<ContextState, size_t, ContextStateHash> group_index_;
+  size_t leaf_entry_count_ = 0;
+};
+
+}  // namespace ctxpref
+
+#endif  // CTXPREF_PREFERENCE_SEQUENTIAL_STORE_H_

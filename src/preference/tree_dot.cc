@@ -1,0 +1,64 @@
+#include "preference/tree_dot.h"
+
+#include "util/string_util.h"
+
+namespace ctxpref {
+
+namespace {
+
+/// Escapes a DOT double-quoted string.
+std::string Escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+struct DotWriter {
+  const ProfileTree& tree;
+  std::string out;
+  int next_id = 0;
+
+  /// Emits `node` (at tree level `level`) and its subtree; returns the
+  /// DOT identifier assigned to the node.
+  int Emit(const ProfileTree::Node& node, size_t level) {
+    const int id = next_id++;
+    const ContextEnvironment& env = tree.env();
+    if (level < env.size()) {
+      const std::string& param =
+          env.parameter(tree.ordering().param_at_level(level)).name();
+      out += "  n" + std::to_string(id) + " [shape=box, label=\"" +
+             Escape(param) + "\"];\n";
+      for (const ProfileTree::Node::Cell& cell : node.cells) {
+        const Hierarchy& h =
+            env.parameter(tree.ordering().param_at_level(level)).hierarchy();
+        const int child = Emit(*cell.child, level + 1);
+        out += "  n" + std::to_string(id) + " -> n" + std::to_string(child) +
+               " [label=\"" + Escape(h.value_name(cell.key)) + "\"];\n";
+      }
+    } else {
+      std::string label;
+      for (const ProfileTree::LeafEntry& e : node.entries) {
+        if (!label.empty()) label += "\\n";  // DOT newline escape.
+        label += Escape(e.clause.ToString() + ", " + FormatDouble(e.score, 3));
+      }
+      out += "  n" + std::to_string(id) + " [shape=note, label=\"" + label +
+             "\"];\n";
+    }
+    return id;
+  }
+};
+
+}  // namespace
+
+std::string ProfileTreeToDot(const ProfileTree& tree) {
+  DotWriter writer{tree, "digraph profile_tree {\n", 0};
+  writer.out += "  rankdir=TB;\n  node [fontname=\"monospace\"];\n";
+  writer.Emit(tree.root(), 0);
+  writer.out += "}\n";
+  return writer.out;
+}
+
+}  // namespace ctxpref

@@ -1,0 +1,18 @@
+#ifndef CTXPREF_PREFERENCE_TREE_DOT_H_
+#define CTXPREF_PREFERENCE_TREE_DOT_H_
+
+#include <string>
+
+#include "preference/profile_tree.h"
+
+namespace ctxpref {
+
+/// Renders a profile tree as Graphviz DOT — the paper's Fig. 4, for
+/// any profile. Internal nodes show their level's parameter name;
+/// edges carry the cell keys; leaf nodes list `(clause, score)`
+/// entries. Feed to `dot -Tpng` to visualize a profile's index.
+std::string ProfileTreeToDot(const ProfileTree& tree);
+
+}  // namespace ctxpref
+
+#endif  // CTXPREF_PREFERENCE_TREE_DOT_H_

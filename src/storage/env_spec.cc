@@ -1,0 +1,282 @@
+#include "storage/env_spec.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "context/validate.h"
+#include "util/string_util.h"
+
+namespace ctxpref::storage {
+
+namespace {
+
+/// Splits "Athens(Plaka, Kifisia)" into parent + children. A bare name
+/// (no parens) yields an empty child list.
+Status ParseGroup(std::string_view text, HierarchyBuilder::Group* out) {
+  size_t open = text.find('(');
+  if (open == std::string_view::npos) {
+    out->parent = std::string(Trim(text));
+    out->children.clear();
+    if (out->parent.empty()) {
+      return Status::Corruption("empty group name");
+    }
+    return Status::OK();
+  }
+  if (text.back() != ')') {
+    return Status::Corruption("unbalanced '(' in group '" +
+                              std::string(text) + "'");
+  }
+  out->parent = std::string(Trim(text.substr(0, open)));
+  if (out->parent.empty()) {
+    return Status::Corruption("group with empty parent: '" +
+                              std::string(text) + "'");
+  }
+  std::string_view inner = text.substr(open + 1, text.size() - open - 2);
+  out->children.clear();
+  for (const std::string& child : SplitAndTrim(inner, ',')) {
+    if (child.empty()) {
+      return Status::Corruption("empty child in group '" + std::string(text) +
+                                "'");
+    }
+    out->children.push_back(child);
+  }
+  if (out->children.empty()) {
+    return Status::Corruption("group '" + out->parent + "' has no children");
+  }
+  return Status::OK();
+}
+
+/// Splits a level body on top-level commas (commas inside parentheses
+/// belong to a group's child list).
+std::vector<std::string> SplitTopLevel(std::string_view s) {
+  std::vector<std::string> out;
+  int depth = 0;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || (s[i] == ',' && depth == 0)) {
+      out.emplace_back(Trim(s.substr(start, i - start)));
+      start = i + 1;
+    } else if (s[i] == '(') {
+      ++depth;
+    } else if (s[i] == ')') {
+      --depth;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<EnvironmentPtr> ParseEnvironmentSpec(std::string_view text) {
+  std::map<std::string, HierarchyPtr, std::less<>> hierarchies;
+  std::vector<ContextParameter> parameters;
+  bool saw_environment = false;
+
+  enum class Section { kNone, kHierarchy, kEnvironment };
+  Section section = Section::kNone;
+  std::unique_ptr<HierarchyBuilder> builder;
+  std::string builder_name;
+  bool builder_has_detailed = false;
+
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = Trim(text.substr(pos, eol - pos));
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty() || line.front() == '#') continue;
+
+    auto fail = [&](const std::string& why) {
+      return Status::Corruption("env spec line " + std::to_string(line_no) +
+                                ": " + why);
+    };
+
+    if (StartsWith(line, "hierarchy")) {
+      if (section != Section::kNone) {
+        return fail("'hierarchy' inside another block");
+      }
+      builder_name = std::string(Trim(line.substr(9)));
+      if (builder_name.empty()) return fail("hierarchy needs a name");
+      if (hierarchies.count(builder_name) > 0) {
+        return Status::InvalidArgument("duplicate hierarchy '" +
+                                       builder_name + "'");
+      }
+      builder = std::make_unique<HierarchyBuilder>(builder_name);
+      builder_has_detailed = false;
+      section = Section::kHierarchy;
+      continue;
+    }
+    if (line == "environment") {
+      if (section != Section::kNone) {
+        return fail("'environment' inside another block");
+      }
+      if (saw_environment) return fail("second 'environment' block");
+      saw_environment = true;
+      section = Section::kEnvironment;
+      continue;
+    }
+    if (line == "end") {
+      if (section == Section::kHierarchy) {
+        StatusOr<HierarchyPtr> h = builder->Build();
+        if (!h.ok()) return h.status();
+        hierarchies.emplace(builder_name, std::move(*h));
+        builder.reset();
+      } else if (section != Section::kEnvironment) {
+        return fail("'end' outside a block");
+      }
+      section = Section::kNone;
+      continue;
+    }
+
+    switch (section) {
+      case Section::kNone:
+        return fail("statement outside a block: '" + std::string(line) + "'");
+
+      case Section::kHierarchy: {
+        if (!StartsWith(line, "level")) {
+          return fail("expected 'level <Name>: ...'");
+        }
+        std::string_view rest = Trim(line.substr(5));
+        size_t colon = rest.find(':');
+        if (colon == std::string_view::npos) {
+          return fail("level is missing ':'");
+        }
+        std::string level_name(Trim(rest.substr(0, colon)));
+        if (level_name.empty()) return fail("level needs a name");
+        std::string_view body = Trim(rest.substr(colon + 1));
+        if (!builder_has_detailed) {
+          std::vector<std::string> values;
+          for (const std::string& v : SplitAndTrim(body, ',')) {
+            if (v.empty()) return fail("empty value in detailed level");
+            values.push_back(v);
+          }
+          builder->AddDetailedLevel(level_name, std::move(values));
+          builder_has_detailed = true;
+        } else {
+          std::vector<HierarchyBuilder::Group> groups;
+          for (const std::string& g : SplitTopLevel(body)) {
+            HierarchyBuilder::Group group;
+            Status st = ParseGroup(g, &group);
+            if (!st.ok()) return fail(st.message());
+            if (group.children.empty()) {
+              return fail("group '" + group.parent +
+                          "' of a non-detailed level needs children");
+            }
+            groups.push_back(std::move(group));
+          }
+          builder->AddLevel(level_name, std::move(groups));
+        }
+        break;
+      }
+
+      case Section::kEnvironment: {
+        if (!StartsWith(line, "parameter")) {
+          return fail("expected 'parameter <name> uses <hierarchy>'");
+        }
+        std::vector<std::string> words;
+        for (const std::string& w : SplitAndTrim(line, ' ')) {
+          if (!w.empty()) words.push_back(w);
+        }
+        if (words.size() != 4 || words[2] != "uses") {
+          return fail("expected 'parameter <name> uses <hierarchy>'");
+        }
+        auto it = hierarchies.find(words[3]);
+        if (it == hierarchies.end()) {
+          return Status::InvalidArgument("parameter '" + words[1] +
+                                         "' uses unknown hierarchy '" +
+                                         words[3] + "'");
+        }
+        parameters.emplace_back(words[1], it->second);
+        break;
+      }
+    }
+  }
+  if (section != Section::kNone) {
+    return Status::Corruption("env spec: unterminated block (missing 'end')");
+  }
+  if (!saw_environment) {
+    return Status::Corruption("env spec: no 'environment' block");
+  }
+  StatusOr<EnvironmentPtr> env =
+      ContextEnvironment::Create(std::move(parameters));
+  if (!env.ok()) return env.status();
+  // Defense in depth: loaded models must satisfy every hierarchy
+  // invariant before they serve queries.
+  CTXPREF_RETURN_IF_ERROR(ValidateEnvironment(**env));
+  return env;
+}
+
+std::string EnvironmentSpecToText(const ContextEnvironment& env) {
+  std::string out = "# ctxpref environment spec\n";
+  // Hierarchies may be shared between parameters; emit each once.
+  std::vector<const Hierarchy*> emitted;
+  for (const ContextParameter& p : env.parameters()) {
+    const Hierarchy& h = p.hierarchy();
+    bool seen = false;
+    for (const Hierarchy* e : emitted) {
+      if (e == &h) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;
+    emitted.push_back(&h);
+
+    out += "hierarchy " + h.name() + "\n";
+    // Detailed level: plain value list.
+    out += "  level " + h.level_name(0) + ":";
+    for (size_t i = 0; i < h.level_size(0); ++i) {
+      out += (i == 0 ? " " : ", ");
+      out += h.value_name(ValueRef{0, static_cast<ValueId>(i)});
+    }
+    out += "\n";
+    // Declared upper levels (all but ALL): groups.
+    for (LevelIndex l = 1; l + 1 < h.num_levels(); ++l) {
+      out += "  level " + h.level_name(l) + ":";
+      for (size_t i = 0; i < h.level_size(l); ++i) {
+        ValueRef parent{l, static_cast<ValueId>(i)};
+        out += (i == 0 ? " " : ", ");
+        out += h.value_name(parent) + "(";
+        std::vector<ValueRef> kids = h.Desc(parent, l - 1);
+        for (size_t k = 0; k < kids.size(); ++k) {
+          if (k > 0) out += ", ";
+          out += h.value_name(kids[k]);
+        }
+        out += ")";
+      }
+      out += "\n";
+    }
+    out += "end\n\n";
+  }
+
+  out += "environment\n";
+  for (const ContextParameter& p : env.parameters()) {
+    out += "  parameter " + p.name() + " uses " + p.hierarchy().name() + "\n";
+  }
+  out += "end\n";
+  return out;
+}
+
+StatusOr<EnvironmentPtr> ReadEnvironmentSpecFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ParseEnvironmentSpec(ss.str());
+}
+
+Status WriteEnvironmentSpecFile(const ContextEnvironment& env,
+                                const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  out << EnvironmentSpecToText(env);
+  return out ? Status::OK() : Status::Internal("short write to '" + path + "'");
+}
+
+}  // namespace ctxpref::storage

@@ -1,0 +1,53 @@
+#ifndef CTXPREF_STORAGE_ENV_SPEC_H_
+#define CTXPREF_STORAGE_ENV_SPEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "context/environment.h"
+#include "util/status.h"
+
+namespace ctxpref::storage {
+
+/// Human-editable text format for hierarchies and environments, so a
+/// deployment can define its context model in a config file instead of
+/// code. Example (the paper's Fig. 2 environment):
+///
+///   # hierarchies bottom-up; the first level is the detailed one.
+///   hierarchy location
+///     level Region: Plaka, Kifisia, Perama
+///     level City: Athens(Plaka, Kifisia), Ioannina(Perama)
+///     level Country: Greece(Athens, Ioannina)
+///   end
+///
+///   hierarchy weather
+///     level Conditions: freezing, cold, mild, warm, hot
+///     level Characterization: bad(freezing, cold), good(mild, warm, hot)
+///   end
+///
+///   environment
+///     parameter location uses location
+///     parameter temperature uses weather
+///   end
+///
+/// The ALL level is implicit (appended by the hierarchy builder).
+/// Lines starting with '#' are comments. Value and level names use the
+/// descriptor-parser alphabet (alphanumerics, '_', '-', '.').
+
+/// Parses a full spec (any number of hierarchies + one environment
+/// block). Errors with Corruption on malformed syntax, InvalidArgument
+/// on semantic errors (unknown hierarchy, duplicate parameter, ...).
+StatusOr<EnvironmentPtr> ParseEnvironmentSpec(std::string_view text);
+
+/// Serializes `env` back to the spec format; ParseEnvironmentSpec on
+/// the output reconstructs an equivalent environment.
+std::string EnvironmentSpecToText(const ContextEnvironment& env);
+
+/// File wrappers.
+StatusOr<EnvironmentPtr> ReadEnvironmentSpecFile(const std::string& path);
+Status WriteEnvironmentSpecFile(const ContextEnvironment& env,
+                                const std::string& path);
+
+}  // namespace ctxpref::storage
+
+#endif  // CTXPREF_STORAGE_ENV_SPEC_H_

@@ -1,0 +1,47 @@
+#ifndef CTXPREF_STORAGE_PROFILE_IO_H_
+#define CTXPREF_STORAGE_PROFILE_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "preference/profile.h"
+#include "util/status.h"
+
+namespace ctxpref::storage {
+
+/// Binary on-disk profile format (version 1):
+///
+///   magic "CPF1" (4 bytes)
+///   payload:
+///     u64 preference count
+///     per preference:
+///       u32 part count
+///       per parameter descriptor:
+///         u32 parameter index
+///         u8  kind (0 equals, 1 set, 2 range)
+///         u32 value count
+///         per value: u16 level, u32 id
+///       clause: string attribute, u8 op, u8 value-type + payload
+///       f64 score
+///   u32 CRC-32 of the payload
+///
+/// All integers little-endian. `Deserialize` validates the magic, the
+/// checksum, every index against the environment, and re-runs conflict
+/// detection, so a corrupted or foreign file yields `Corruption` /
+/// `InvalidArgument` rather than a malformed profile.
+
+/// Serializes `profile` to the binary format.
+std::string SerializeProfile(const Profile& profile);
+
+/// Parses a serialized profile against `env`.
+StatusOr<Profile> DeserializeProfile(EnvironmentPtr env,
+                                     std::string_view bytes);
+
+/// Convenience file wrappers (whole-file read/write).
+Status WriteProfileFile(const Profile& profile, const std::string& path);
+StatusOr<Profile> ReadProfileFile(EnvironmentPtr env,
+                                  const std::string& path);
+
+}  // namespace ctxpref::storage
+
+#endif  // CTXPREF_STORAGE_PROFILE_IO_H_

@@ -1,0 +1,122 @@
+#include "storage/profile_store.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "storage/profile_io.h"
+#include "util/string_util.h"
+
+namespace ctxpref::storage {
+
+namespace fs = std::filesystem;
+
+Status ProfileStore::ValidateUserId(const std::string& user_id) {
+  if (user_id.empty()) {
+    return Status::InvalidArgument("empty user id");
+  }
+  if (user_id == "." || user_id == ".." ||
+      user_id.find('/') != std::string::npos ||
+      user_id.find('\\') != std::string::npos) {
+    return Status::InvalidArgument("user id '" + user_id +
+                                   "' cannot name a file");
+  }
+  return Status::OK();
+}
+
+Status ProfileStore::CreateUser(const std::string& user_id) {
+  return CreateUser(user_id, Profile(env_));
+}
+
+Status ProfileStore::CreateUser(const std::string& user_id, Profile initial) {
+  CTXPREF_RETURN_IF_ERROR(ValidateUserId(user_id));
+  if (&initial.env() != env_.get()) {
+    return Status::InvalidArgument(
+        "profile for user '" + user_id +
+        "' was built over a different context environment");
+  }
+  auto [it, inserted] = users_.try_emplace(user_id);
+  if (!inserted) {
+    return Status::AlreadyExists("user '" + user_id + "' already exists");
+  }
+  it->second.profile = std::make_unique<Profile>(std::move(initial));
+  return Status::OK();
+}
+
+StatusOr<Profile*> ProfileStore::GetProfile(const std::string& user_id) {
+  auto it = users_.find(user_id);
+  if (it == users_.end()) {
+    return Status::NotFound("no user '" + user_id + "'");
+  }
+  return it->second.profile.get();
+}
+
+StatusOr<const ProfileTree*> ProfileStore::GetTree(
+    const std::string& user_id) {
+  auto it = users_.find(user_id);
+  if (it == users_.end()) {
+    return Status::NotFound("no user '" + user_id + "'");
+  }
+  User& user = it->second;
+  if (!user.tree.has_value() ||
+      user.tree_version != user.profile->version()) {
+    StatusOr<ProfileTree> tree = ProfileTree::Build(*user.profile);
+    if (!tree.ok()) return tree.status();
+    user.tree.emplace(std::move(*tree));
+    user.tree_version = user.profile->version();
+  }
+  return &*user.tree;
+}
+
+Status ProfileStore::RemoveUser(const std::string& user_id) {
+  if (users_.erase(user_id) == 0) {
+    return Status::NotFound("no user '" + user_id + "'");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> ProfileStore::UserIds() const {
+  std::vector<std::string> out;
+  out.reserve(users_.size());
+  for (const auto& [id, user] : users_) out.push_back(id);
+  return out;
+}
+
+Status ProfileStore::SaveAll(const std::string& dir) const {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::InvalidArgument("'" + dir + "' is not a directory");
+  }
+  for (const auto& [id, user] : users_) {
+    CTXPREF_RETURN_IF_ERROR(
+        WriteProfileFile(*user.profile, dir + "/" + id + ".profile"));
+  }
+  return Status::OK();
+}
+
+StatusOr<ProfileStore> ProfileStore::LoadDir(EnvironmentPtr env,
+                                             const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::NotFound("'" + dir + "' is not a directory");
+  }
+  ProfileStore store(env);
+  std::vector<fs::path> files;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".profile") {
+      files.push_back(entry.path());
+    }
+  }
+  if (ec) {
+    return Status::Internal("error listing '" + dir + "': " + ec.message());
+  }
+  std::sort(files.begin(), files.end());  // Deterministic load order.
+  for (const fs::path& file : files) {
+    StatusOr<Profile> profile = ReadProfileFile(env, file.string());
+    if (!profile.ok()) return profile.status();
+    CTXPREF_RETURN_IF_ERROR(
+        store.CreateUser(file.stem().string(), std::move(*profile)));
+  }
+  return store;
+}
+
+}  // namespace ctxpref::storage

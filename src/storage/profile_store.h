@@ -1,0 +1,80 @@
+#ifndef CTXPREF_STORAGE_PROFILE_STORE_H_
+#define CTXPREF_STORAGE_PROFILE_STORE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "preference/profile.h"
+#include "preference/profile_tree.h"
+#include "util/status.h"
+
+namespace ctxpref::storage {
+
+/// A multi-user profile repository over one shared context
+/// environment — the server-side shape of the paper's system (§5.1
+/// runs 10 users against one POI database; each user owns a profile
+/// and thus a profile tree).
+///
+/// Profiles are owned by the store; per-user profile trees are built
+/// lazily on first use and invalidated automatically when the user's
+/// profile version moves. Persistence maps each user to
+/// `<dir>/<user_id>.profile` in the binary format of `profile_io.h`.
+class ProfileStore {
+ public:
+  explicit ProfileStore(EnvironmentPtr env) : env_(std::move(env)) {}
+
+  ProfileStore(ProfileStore&&) = default;
+  ProfileStore& operator=(ProfileStore&&) = default;
+
+  const ContextEnvironment& env() const { return *env_; }
+  size_t size() const { return users_.size(); }
+
+  /// Creates a user with an empty profile. AlreadyExists if taken;
+  /// InvalidArgument for ids that cannot name a file (empty, '/', "..").
+  Status CreateUser(const std::string& user_id);
+
+  /// Creates a user seeded with `initial` (e.g. a default profile,
+  /// §5.1). The profile must be over this store's environment.
+  Status CreateUser(const std::string& user_id, Profile initial);
+
+  /// The user's mutable profile; NotFound for unknown users. The
+  /// pointer stays valid until the user is removed.
+  StatusOr<Profile*> GetProfile(const std::string& user_id);
+
+  /// The user's profile tree, built (or rebuilt, if the profile
+  /// changed) on demand. Valid until the next mutation of that user's
+  /// profile or user removal.
+  StatusOr<const ProfileTree*> GetTree(const std::string& user_id);
+
+  Status RemoveUser(const std::string& user_id);
+
+  /// All user ids, sorted.
+  std::vector<std::string> UserIds() const;
+
+  /// Writes every profile to `<dir>/<user_id>.profile` (the directory
+  /// must exist).
+  Status SaveAll(const std::string& dir) const;
+
+  /// Loads every `*.profile` file in `dir` into a fresh store.
+  static StatusOr<ProfileStore> LoadDir(EnvironmentPtr env,
+                                        const std::string& dir);
+
+ private:
+  struct User {
+    std::unique_ptr<Profile> profile;
+    std::optional<ProfileTree> tree;
+    uint64_t tree_version = 0;
+  };
+
+  static Status ValidateUserId(const std::string& user_id);
+
+  EnvironmentPtr env_;
+  std::map<std::string, User> users_;
+};
+
+}  // namespace ctxpref::storage
+
+#endif  // CTXPREF_STORAGE_PROFILE_STORE_H_

@@ -1,0 +1,4 @@
+#include "util/counters.h"
+
+// AccessCounter is header-only; this file exists so the util library has
+// a stable archive member for the target and a home for future stats.

@@ -1,0 +1,38 @@
+#ifndef CTXPREF_UTIL_COUNTERS_H_
+#define CTXPREF_UTIL_COUNTERS_H_
+
+#include <cstdint>
+
+namespace ctxpref {
+
+/// Counts index cell visits during context resolution.
+///
+/// The paper's performance metric (Fig. 7) is the number of *cells*
+/// touched while locating the preferences relevant to a query, both for
+/// the profile tree and for the sequential-scan baseline. Resolution
+/// entry points accept an optional `AccessCounter*`; when non-null the
+/// data structures tick it on every cell inspected, so the benchmark
+/// measures the real traversal rather than estimating it.
+class AccessCounter {
+ public:
+  AccessCounter() = default;
+
+  void AddCell(uint64_t n = 1) { cells_ += n; }
+  void AddNode(uint64_t n = 1) { nodes_ += n; }
+
+  uint64_t cells() const { return cells_; }
+  uint64_t nodes() const { return nodes_; }
+
+  void Reset() {
+    cells_ = 0;
+    nodes_ = 0;
+  }
+
+ private:
+  uint64_t cells_ = 0;
+  uint64_t nodes_ = 0;
+};
+
+}  // namespace ctxpref
+
+#endif  // CTXPREF_UTIL_COUNTERS_H_

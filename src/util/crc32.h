@@ -1,0 +1,16 @@
+#ifndef CTXPREF_UTIL_CRC32_H_
+#define CTXPREF_UTIL_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace ctxpref {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) used to checksum
+/// serialized profiles. `seed` allows incremental computation:
+/// Crc32(b, Crc32(a)) == Crc32(ab).
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+}  // namespace ctxpref
+
+#endif  // CTXPREF_UTIL_CRC32_H_

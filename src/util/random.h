@@ -1,0 +1,77 @@
+#ifndef CTXPREF_UTIL_RANDOM_H_
+#define CTXPREF_UTIL_RANDOM_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ctxpref {
+
+/// Deterministic 64-bit PRNG (xoshiro256** seeded via splitmix64).
+///
+/// Every workload generator and benchmark in this repository takes an
+/// explicit seed and draws exclusively from this engine, so results are
+/// reproducible across runs and platforms (std:: distributions are not
+/// specified bit-exactly, hence the hand-rolled helpers below).
+class Rng {
+ public:
+  /// Seeds the engine; equal seeds produce equal streams.
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  /// Uses rejection to avoid modulo bias.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf-distributed integers over {0, 1, ..., n-1} with skew `a`:
+/// P(k) ∝ 1 / (k+1)^a. a == 0 degenerates to the uniform distribution,
+/// matching the paper's Fig. 6 (right) sweep where a ranges 0..3.5.
+///
+/// Implemented by precomputing the CDF (domains here are at most a few
+/// thousand values) and sampling via binary search; O(log n) per draw.
+class ZipfDistribution {
+ public:
+  /// `n` must be >= 1; `a` >= 0.
+  ZipfDistribution(uint64_t n, double a);
+
+  /// Draws one value in [0, n).
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double a() const { return a_; }
+
+ private:
+  uint64_t n_;
+  double a_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace ctxpref
+
+#endif  // CTXPREF_UTIL_RANDOM_H_

@@ -1,0 +1,151 @@
+#ifndef CTXPREF_UTIL_STATUS_H_
+#define CTXPREF_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ctxpref {
+
+/// Status codes used across the library. The library never throws;
+/// every fallible operation reports one of these through `Status` or
+/// `StatusOr<T>` (RocksDB-style error handling).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kConflict,       ///< Conflicting contextual preferences (paper Def. 6).
+  kOutOfRange,
+  kCorruption,     ///< Malformed serialized profile / descriptor text.
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a short human-readable name for `code` ("Ok", "Conflict", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error result for operations with no payload.
+///
+/// Cheap to copy in the OK case (no allocation); error states carry a
+/// message. Follow the usual pattern:
+///
+///     Status s = profile.Insert(pref);
+///     if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsConflict() const { return code_ == StatusCode::kConflict; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+
+  /// "Ok" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error result. Holds either a `T` or a non-OK `Status`.
+///
+///     StatusOr<ProfileTree> tree = ProfileTree::Build(profile, order);
+///     if (!tree.ok()) return tree.status();
+///     tree->Lookup(...);
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from a value: `return my_value;`.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit from an error status: `return Status::NotFound(...)`.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace ctxpref
+
+/// Propagates a non-OK Status from an expression.
+#define CTXPREF_RETURN_IF_ERROR(expr)             \
+  do {                                            \
+    ::ctxpref::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+#endif  // CTXPREF_UTIL_STATUS_H_

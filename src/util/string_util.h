@@ -1,0 +1,41 @@
+#ifndef CTXPREF_UTIL_STRING_UTIL_H_
+#define CTXPREF_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ctxpref {
+
+/// Splits `s` on `sep`, trimming whitespace from each piece.
+/// Empty pieces are kept ("a,,b" -> {"a", "", "b"}) so callers can
+/// detect malformed input; an empty input yields a single empty piece.
+std::vector<std::string> SplitAndTrim(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Lower-cases ASCII characters.
+std::string ToLower(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Parses a double; returns false on trailing garbage or empty input.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Parses a signed 64-bit integer; returns false on trailing garbage.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// Formats a double with up to `precision` digits, trimming trailing
+/// zeros ("0.9", not "0.900000").
+std::string FormatDouble(double v, int precision = 6);
+
+}  // namespace ctxpref
+
+#endif  // CTXPREF_UTIL_STRING_UTIL_H_

@@ -1,0 +1,177 @@
+#include "workload/poi_dataset.h"
+
+#include "util/random.h"
+
+namespace ctxpref::workload {
+
+const std::vector<std::string>& AthensRegions() {
+  static const std::vector<std::string>* kRegions = new std::vector<std::string>{
+      "Plaka",      "Kifisia",  "Monastiraki", "Kolonaki",
+      "Exarchia",   "Koukaki",  "Glyfada",     "Piraeus",
+  };
+  return *kRegions;
+}
+
+const std::vector<std::string>& ThessalonikiRegions() {
+  static const std::vector<std::string>* kRegions = new std::vector<std::string>{
+      "Ladadika", "AnoPoli", "Kalamaria", "Toumba", "Panorama",
+  };
+  return *kRegions;
+}
+
+const std::vector<std::string>& IoanninaRegions() {
+  static const std::vector<std::string>* kRegions = new std::vector<std::string>{
+      "Perama", "Kastro",
+  };
+  return *kRegions;
+}
+
+const std::vector<std::string>& PoiTypes() {
+  static const std::vector<std::string>* kTypes = new std::vector<std::string>{
+      "museum",    "monument", "archaeological_site", "zoo",    "park",
+      "cafeteria", "brewery",  "theater",             "market", "gallery",
+  };
+  return *kTypes;
+}
+
+const std::vector<std::string>& WeatherConditions() {
+  static const std::vector<std::string>* kConditions =
+      new std::vector<std::string>{"freezing", "cold", "mild", "warm", "hot"};
+  return *kConditions;
+}
+
+const std::vector<std::string>& Companions() {
+  static const std::vector<std::string>* kCompanions =
+      new std::vector<std::string>{"friends", "family", "alone"};
+  return *kCompanions;
+}
+
+StatusOr<EnvironmentPtr> MakePaperEnvironment() {
+  // location: Region ≺ City ≺ Country ≺ ALL (Fig. 1/2, extended with
+  // Thessaloniki for the user study's two cities).
+  HierarchyBuilder loc("location");
+  std::vector<std::string> regions;
+  for (const auto& r : AthensRegions()) regions.push_back(r);
+  for (const auto& r : ThessalonikiRegions()) regions.push_back(r);
+  for (const auto& r : IoanninaRegions()) regions.push_back(r);
+  loc.AddDetailedLevel("Region", regions);
+  loc.AddLevel("City",
+               {{"Athens", AthensRegions()},
+                {"Thessaloniki", ThessalonikiRegions()},
+                {"Ioannina", IoanninaRegions()}});
+  loc.AddLevel("Country", {{"Greece", {"Athens", "Thessaloniki", "Ioannina"}}});
+  StatusOr<HierarchyPtr> location = loc.Build();
+  if (!location.ok()) return location.status();
+
+  // temperature: Conditions ≺ Weather_Characterization ≺ ALL (Fig. 2):
+  // bad = {freezing, cold}, good = {mild, warm, hot}.
+  HierarchyBuilder temp("temperature");
+  temp.AddDetailedLevel("Conditions", WeatherConditions());
+  temp.AddLevel("Weather_Characterization",
+                {{"bad", {"freezing", "cold"}}, {"good", {"mild", "warm", "hot"}}});
+  StatusOr<HierarchyPtr> temperature = temp.Build();
+  if (!temperature.ok()) return temperature.status();
+
+  // accompanying_people: Relationship ≺ ALL (Fig. 2).
+  HierarchyBuilder comp("accompanying_people");
+  comp.AddDetailedLevel("Relationship", Companions());
+  StatusOr<HierarchyPtr> companions = comp.Build();
+  if (!companions.ok()) return companions.status();
+
+  std::vector<ContextParameter> params;
+  params.emplace_back("location", std::move(*location));
+  params.emplace_back("temperature", std::move(*temperature));
+  params.emplace_back("accompanying_people", std::move(*companions));
+  return ContextEnvironment::Create(std::move(params));
+}
+
+StatusOr<db::Schema> MakePoiSchema() {
+  return db::Schema::Create({
+      {"pid", db::ColumnType::kInt64},
+      {"name", db::ColumnType::kString},
+      {"type", db::ColumnType::kString},
+      {"location", db::ColumnType::kString},
+      {"open_air", db::ColumnType::kBool},
+      {"hours", db::ColumnType::kString},
+      {"admission", db::ColumnType::kDouble},
+  });
+}
+
+StatusOr<PoiDatabase> MakePoiDatabase(size_t num_pois, uint64_t seed) {
+  StatusOr<EnvironmentPtr> env = MakePaperEnvironment();
+  if (!env.ok()) return env.status();
+  StatusOr<db::Schema> schema = MakePoiSchema();
+  if (!schema.ok()) return schema.status();
+  db::Relation relation(std::move(*schema));
+
+  // A handful of landmarks with fixed names (the paper's examples).
+  struct Landmark {
+    const char* name;
+    const char* type;
+    const char* region;
+    bool open_air;
+    double admission;
+  };
+  static constexpr Landmark kLandmarks[] = {
+      {"Acropolis", "archaeological_site", "Plaka", true, 20.0},
+      {"Archaeological_Museum", "museum", "Exarchia", false, 12.0},
+      {"White_Tower", "monument", "Ladadika", true, 6.0},
+      {"Attica_Zoo", "zoo", "Glyfada", true, 18.0},
+      {"National_Garden", "park", "Kolonaki", true, 0.0},
+  };
+
+  int64_t pid = 0;
+  for (const Landmark& lm : kLandmarks) {
+    CTXPREF_RETURN_IF_ERROR(relation.Append({
+        db::Value(pid++),
+        db::Value(lm.name),
+        db::Value(lm.type),
+        db::Value(lm.region),
+        db::Value(lm.open_air),
+        db::Value("09:00-20:00"),
+        db::Value(lm.admission),
+    }));
+  }
+
+  // Synthetic POIs across the two study cities (Athens, Thessaloniki).
+  std::vector<std::string> regions;
+  for (const auto& r : AthensRegions()) regions.push_back(r);
+  for (const auto& r : ThessalonikiRegions()) regions.push_back(r);
+
+  Rng rng(seed);
+  const auto& types = PoiTypes();
+  while (static_cast<size_t>(pid) < num_pois) {
+    const std::string& type = types[rng.Uniform(types.size())];
+    const std::string& region = regions[rng.Uniform(regions.size())];
+    // Open-air correlates with type: parks/sites/zoos are open air,
+    // museums/theaters are not, the rest mixed.
+    bool open_air;
+    if (type == "park" || type == "archaeological_site" || type == "zoo" ||
+        type == "monument") {
+      open_air = true;
+    } else if (type == "museum" || type == "theater" || type == "gallery") {
+      open_air = false;
+    } else {
+      open_air = rng.Bernoulli(0.5);
+    }
+    const double admission =
+        (type == "park" || type == "market")
+            ? 0.0
+            : static_cast<double>(rng.Uniform(5)) * 5.0;  // 0..20 in 5s
+    const std::string name =
+        type + "_" + region + "_" + std::to_string(pid);
+    CTXPREF_RETURN_IF_ERROR(relation.Append({
+        db::Value(pid),
+        db::Value(name),
+        db::Value(type),
+        db::Value(region),
+        db::Value(open_air),
+        db::Value(rng.Bernoulli(0.3) ? "10:00-18:00" : "09:00-22:00"),
+        db::Value(admission),
+    }));
+    ++pid;
+  }
+  return PoiDatabase{std::move(*env), std::move(relation)};
+}
+
+}  // namespace ctxpref::workload

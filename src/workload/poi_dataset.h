@@ -1,0 +1,63 @@
+#ifndef CTXPREF_WORKLOAD_POI_DATASET_H_
+#define CTXPREF_WORKLOAD_POI_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "context/environment.h"
+#include "db/relation.h"
+#include "util/status.h"
+
+namespace ctxpref::workload {
+
+/// The paper's reference example (§2, Fig. 2), materialized:
+///
+///  * context environment {location, temperature, accompanying_people}
+///    with the exact hierarchy shapes of Fig. 2 — location: Region ≺
+///    City ≺ Country ≺ ALL (extended with Thessaloniki for the §5.1
+///    study), temperature: Conditions ≺ Weather_Characterization ≺ ALL,
+///    accompanying_people: Relationship ≺ ALL;
+///  * a Points_of_Interest relation with the paper's schema
+///    (pid, name, type, location, open_air, hours, admission).
+///
+/// The paper's study used a proprietary POI database of Athens and
+/// Thessaloniki; this synthetic stand-in preserves schema, geography
+/// and the type mix (see DESIGN.md, substitution notes).
+
+/// Region names per city, used by both the environment and the POIs.
+const std::vector<std::string>& AthensRegions();
+const std::vector<std::string>& ThessalonikiRegions();
+const std::vector<std::string>& IoanninaRegions();
+
+/// POI categories ("type" attribute values).
+const std::vector<std::string>& PoiTypes();
+
+/// Weather conditions at the detailed level, in domain (cold-to-hot)
+/// order: freezing, cold, mild, warm, hot.
+const std::vector<std::string>& WeatherConditions();
+
+/// Companions: friends, family, alone.
+const std::vector<std::string>& Companions();
+
+/// Builds the Fig. 2 context environment. Parameter order:
+/// 0 = location, 1 = temperature, 2 = accompanying_people.
+StatusOr<EnvironmentPtr> MakePaperEnvironment();
+
+/// A generated POI database bound to its environment.
+struct PoiDatabase {
+  EnvironmentPtr env;
+  db::Relation relation;
+};
+
+/// Generates `num_pois` POIs spread over the regions of Athens and
+/// Thessaloniki (plus a few landmark POIs with fixed names such as
+/// Acropolis). Deterministic in `seed`.
+StatusOr<PoiDatabase> MakePoiDatabase(size_t num_pois, uint64_t seed);
+
+/// The POI schema: (pid:int64, name:string, type:string,
+/// location:string, open_air:bool, hours:string, admission:double).
+StatusOr<db::Schema> MakePoiSchema();
+
+}  // namespace ctxpref::workload
+
+#endif  // CTXPREF_WORKLOAD_POI_DATASET_H_

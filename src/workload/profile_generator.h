@@ -1,0 +1,66 @@
+#ifndef CTXPREF_WORKLOAD_PROFILE_GENERATOR_H_
+#define CTXPREF_WORKLOAD_PROFILE_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "preference/profile.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace ctxpref::workload {
+
+/// Specification of one synthetic context parameter (paper §5.2).
+struct SyntheticParam {
+  std::string name;
+  size_t detailed_size = 50;   ///< |dom(Ci)| at the detailed level.
+  size_t num_levels = 2;       ///< Declared levels (ALL is extra).
+  size_t fan = 8;              ///< Per-level grouping factor.
+  /// Skew of value draws: 0 = uniform, otherwise zipf(a) over the
+  /// detailed domain (the paper uses a = 1.5 and a sweep 0..3.5).
+  double zipf_a = 0.0;
+};
+
+/// Specification of a synthetic profile.
+struct SyntheticProfileSpec {
+  std::vector<SyntheticParam> params;
+  size_t num_preferences = 1000;
+  /// Probability that a drawn context value is lifted from the detailed
+  /// level to a random upper level (including ALL): preferences
+  /// expressed at mixed granularity, which is what makes non-exact
+  /// (cover) resolution meaningful. 0 = all-detailed preferences.
+  double lift_probability = 0.3;
+  /// Probability a parameter is omitted from a preference's descriptor
+  /// entirely (= the value `all`, paper Def. 4).
+  double omit_probability = 0.05;
+  /// Size of the pool of distinct attribute-clause values; smaller
+  /// pools create more leaf sharing (and more potential conflicts,
+  /// which the generator redraws around).
+  size_t clause_pool = 200;
+  uint64_t seed = 42;
+};
+
+/// A generated workload: the environment plus the profile.
+struct SyntheticProfile {
+  EnvironmentPtr env;
+  Profile profile;
+};
+
+/// Generates a conflict-free profile per `spec`. Each preference draws
+/// one context value per (non-omitted) parameter — detailed value by
+/// uniform/zipf, then possibly lifted — a clause `attr = v<k>` from the
+/// pool, and a score in {0.0, 0.05, ..., 1.0}. Conflicting draws are
+/// redrawn (bounded retries), so the result always satisfies Def. 7.
+StatusOr<SyntheticProfile> GenerateSyntheticProfile(
+    const SyntheticProfileSpec& spec);
+
+/// The "real" profile of the paper's §5.2 experiments, reconstructed to
+/// spec: 522 preferences over three parameters with active detailed
+/// domains of 4 (accompanying_people), 17 (time) and 100 (location),
+/// skewed draws, mixed-granularity descriptors. See DESIGN.md for the
+/// substitution note.
+StatusOr<SyntheticProfile> MakeRealLikeProfile(uint64_t seed = 7);
+
+}  // namespace ctxpref::workload
+
+#endif  // CTXPREF_WORKLOAD_PROFILE_GENERATOR_H_

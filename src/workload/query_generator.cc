@@ -1,0 +1,50 @@
+#include "workload/query_generator.h"
+
+namespace ctxpref::workload {
+
+ContextState ExactQuery(const Profile& profile, Rng& rng) {
+  assert(!profile.empty());
+  // Pick a random preference, then a random state of its descriptor.
+  const ContextualPreference& pref =
+      profile.preference(rng.Uniform(profile.size()));
+  std::vector<ContextState> states = pref.States(profile.env());
+  return states[rng.Uniform(states.size())];
+}
+
+ContextState RandomQuery(const ContextEnvironment& env, Rng& rng,
+                         double lift_probability) {
+  std::vector<ValueRef> values;
+  values.reserve(env.size());
+  for (size_t i = 0; i < env.size(); ++i) {
+    const Hierarchy& h = env.parameter(i).hierarchy();
+    ValueRef v{0, static_cast<ValueId>(rng.Uniform(h.level_size(0)))};
+    if (h.num_levels() > 1 && rng.Bernoulli(lift_probability)) {
+      v = h.Anc(v, static_cast<LevelIndex>(1 + rng.Uniform(h.num_levels() - 1)));
+    }
+    values.push_back(v);
+  }
+  return ContextState(std::move(values));
+}
+
+std::vector<ContextState> ExactQueryBatch(const Profile& profile, size_t count,
+                                          uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ContextState> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(ExactQuery(profile, rng));
+  return out;
+}
+
+std::vector<ContextState> RandomQueryBatch(const ContextEnvironment& env,
+                                           size_t count, uint64_t seed,
+                                           double lift_probability) {
+  Rng rng(seed);
+  std::vector<ContextState> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(RandomQuery(env, rng, lift_probability));
+  }
+  return out;
+}
+
+}  // namespace ctxpref::workload

@@ -1,0 +1,36 @@
+#ifndef CTXPREF_WORKLOAD_QUERY_GENERATOR_H_
+#define CTXPREF_WORKLOAD_QUERY_GENERATOR_H_
+
+#include <vector>
+
+#include "context/state.h"
+#include "preference/profile.h"
+#include "util/random.h"
+
+namespace ctxpref::workload {
+
+/// Query workloads for the Fig. 7 experiments: 50 query states whose
+/// parameters take values from different hierarchy levels.
+
+/// A query state guaranteed to have an exact match: a state drawn
+/// uniformly from the states stored in `profile`.
+ContextState ExactQuery(const Profile& profile, Rng& rng);
+
+/// A random query state: each component drawn uniformly from the
+/// detailed domain, then lifted to a random level with probability
+/// `lift_probability`. May or may not have covering preferences.
+ContextState RandomQuery(const ContextEnvironment& env, Rng& rng,
+                         double lift_probability = 0.3);
+
+/// A batch of `count` exact queries.
+std::vector<ContextState> ExactQueryBatch(const Profile& profile, size_t count,
+                                          uint64_t seed);
+
+/// A batch of `count` random (generally non-exact) queries.
+std::vector<ContextState> RandomQueryBatch(const ContextEnvironment& env,
+                                           size_t count, uint64_t seed,
+                                           double lift_probability = 0.3);
+
+}  // namespace ctxpref::workload
+
+#endif  // CTXPREF_WORKLOAD_QUERY_GENERATOR_H_

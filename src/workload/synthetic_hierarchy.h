@@ -1,0 +1,31 @@
+#ifndef CTXPREF_WORKLOAD_SYNTHETIC_HIERARCHY_H_
+#define CTXPREF_WORKLOAD_SYNTHETIC_HIERARCHY_H_
+
+#include <cstddef>
+#include <string>
+
+#include "context/hierarchy.h"
+#include "util/status.h"
+
+namespace ctxpref::workload {
+
+/// Builds a linear hierarchy with `num_levels` declared levels (the ALL
+/// level is appended on top by the builder) over `detailed_size`
+/// detailed values. Level l+1 groups level l's values into contiguous
+/// runs of `fan`, so level sizes are detailed_size, ⌈detailed_size/fan⌉,
+/// ⌈detailed_size/fan²⌉, ... Contiguous grouping keeps the anc
+/// functions monotone (paper §3.1 condition 3).
+///
+/// Values are named "<name>.<level>.<i>" — e.g. "loc.0.42" — so they
+/// are unique across levels and parseable in profiles.
+///
+/// Errors with InvalidArgument if `num_levels` == 0, `fan` < 2, or an
+/// upper level would collapse below one value before the last declared
+/// level.
+StatusOr<HierarchyPtr> MakeSyntheticHierarchy(const std::string& name,
+                                              size_t detailed_size,
+                                              size_t num_levels, size_t fan);
+
+}  // namespace ctxpref::workload
+
+#endif  // CTXPREF_WORKLOAD_SYNTHETIC_HIERARCHY_H_

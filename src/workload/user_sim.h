@@ -1,0 +1,87 @@
+#ifndef CTXPREF_WORKLOAD_USER_SIM_H_
+#define CTXPREF_WORKLOAD_USER_SIM_H_
+
+#include <vector>
+
+#include "db/relation.h"
+#include "preference/profile.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "workload/default_profiles.h"
+#include "workload/poi_dataset.h"
+
+namespace ctxpref::workload {
+
+/// Simulation of the paper's §5.1 user study (Table 1).
+///
+/// The original study used 10 human users over a proprietary POI
+/// database; here each user is simulated: they carry a *hidden ground
+/// truth* — a per-user scoring function over (context, POI) built from
+/// seeded affinity tables — receive one of the 12 default profiles,
+/// edit it toward their ground truth (insert / update / delete,
+/// proportionally to a per-user diligence), and then rate the system:
+/// for each query class we compare the system's top-20 against the
+/// ground truth's top-20 (precision, as in the paper: "the percentage
+/// of the results returned that belong to the results given by the
+/// user"). See DESIGN.md, substitution notes.
+
+/// A user's hidden taste model. All tables are seeded and deterministic.
+class GroundTruth {
+ public:
+  GroundTruth(const ContextEnvironment& env, uint64_t seed);
+
+  /// Interest of `row` (a POI tuple) under context `state` ∈ [0, 1].
+  /// Components at non-detailed levels are marginalized (averaged over
+  /// detailed descendants).
+  double Score(const ContextEnvironment& env, const db::Relation& relation,
+               db::RowId row, const ContextState& state) const;
+
+  /// Affinity of a POI type under a companion (detailed indices).
+  double TypeAffinity(size_t type_idx, size_t companion_idx) const {
+    return type_affinity_[type_idx][companion_idx];
+  }
+  /// Affinity of open-air={false,true} under a weather condition.
+  double OpenAirAffinity(bool open_air, size_t condition_idx) const {
+    return openair_weather_[open_air ? 1 : 0][condition_idx];
+  }
+
+  /// Mean type affinity over all (type, companion) cells — the user's
+  /// baseline enthusiasm, used to calibrate single-factor scores.
+  double MeanTypeAffinity() const;
+
+ private:
+  std::vector<std::vector<double>> type_affinity_;  // [type][companion]
+  double openair_weather_[2][5];
+  std::vector<double> city_affinity_;  // [city]
+};
+
+/// One Table 1 row.
+struct UserStudyRow {
+  int user_id = 0;
+  AgeGroup age;
+  Sex sex;
+  Taste taste;
+  int num_updates = 0;
+  double update_minutes = 0.0;
+  /// Top-20 precision per query class (percent); negative means the
+  /// class produced no measurable queries for this user's profile.
+  double exact_pct = 0.0;
+  double one_cover_pct = 0.0;
+  double multi_cover_hierarchy_pct = 0.0;
+  double multi_cover_jaccard_pct = 0.0;
+};
+
+struct UserStudyConfig {
+  size_t num_users = 10;
+  size_t num_pois = 150;
+  size_t queries_per_class = 20;
+  size_t top_k = 20;
+  uint64_t seed = 2026;
+};
+
+/// Runs the simulated study end to end and returns one row per user.
+StatusOr<std::vector<UserStudyRow>> RunUserStudy(const UserStudyConfig& config);
+
+}  // namespace ctxpref::workload
+
+#endif  // CTXPREF_WORKLOAD_USER_SIM_H_

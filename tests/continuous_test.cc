@@ -1,0 +1,177 @@
+#include "preference/continuous.h"
+
+#include <gtest/gtest.h>
+
+#include "context/parser.h"
+#include "tests/test_util.h"
+#include "workload/poi_dataset.h"
+
+namespace ctxpref {
+namespace {
+
+using ::ctxpref::testing::Pref;
+using ::ctxpref::testing::State;
+
+class ContinuousTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StatusOr<workload::PoiDatabase> poi = workload::MakePoiDatabase(60, 13);
+    ASSERT_OK(poi.status());
+    poi_ = std::make_unique<workload::PoiDatabase>(std::move(*poi));
+    env_ = poi_->env;
+    profile_ = std::make_unique<Profile>(env_);
+    ASSERT_OK(profile_->Insert(
+        Pref(*env_, "temperature = hot", "type", "park", 0.9)));
+    ASSERT_OK(profile_->Insert(
+        Pref(*env_, "temperature = freezing", "type", "museum", 0.8)));
+    engine_ = std::make_unique<ContinuousQueryEngine>(&poi_->relation,
+                                                      profile_.get());
+  }
+
+  /// Dominant type of the rows in `result`.
+  std::string DominantType(const QueryResult& result) {
+    if (result.tuples.empty()) return "<none>";
+    const size_t col = *poi_->relation.schema().IndexOf("type");
+    return poi_->relation.row(result.tuples.front().row_id)[col].AsString();
+  }
+
+  std::unique_ptr<workload::PoiDatabase> poi_;
+  EnvironmentPtr env_;
+  std::unique_ptr<Profile> profile_;
+  std::unique_ptr<ContinuousQueryEngine> engine_;
+};
+
+TEST_F(ContinuousTest, RegistrationValidation) {
+  EXPECT_TRUE(engine_->RegisterCurrentContext({}, {}, nullptr)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(engine_->RegisterFixed(ExtendedDescriptor(), {}, {},
+                                     [](size_t, const QueryResult&) {})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_EQ(engine_->active(), 0u);
+}
+
+TEST_F(ContinuousTest, CurrentContextQueryFollowsTheWeather) {
+  std::vector<std::string> seen;
+  StatusOr<size_t> id = engine_->RegisterCurrentContext(
+      {}, {}, [&](size_t, const QueryResult& result) {
+        seen.push_back(DominantType(result));
+      });
+  ASSERT_OK(id.status());
+  EXPECT_EQ(engine_->active(), 1u);
+
+  StatusOr<size_t> fired =
+      engine_->OnContext(State(*env_, {"Plaka", "hot", "friends"}));
+  ASSERT_OK(fired.status());
+  EXPECT_EQ(*fired, 1u);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "park");
+
+  // Same context again: answer unchanged, no callback.
+  fired = engine_->OnContext(State(*env_, {"Plaka", "hot", "friends"}));
+  ASSERT_OK(fired.status());
+  EXPECT_EQ(*fired, 0u);
+
+  // Winter now: the museum preference takes over.
+  fired = engine_->OnContext(State(*env_, {"Plaka", "freezing", "friends"}));
+  ASSERT_OK(fired.status());
+  EXPECT_EQ(*fired, 1u);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[1], "museum");
+}
+
+TEST_F(ContinuousTest, FixedQueryReactsToProfileEditsOnly) {
+  StatusOr<ExtendedDescriptor> ecod =
+      ParseExtendedDescriptor(*env_, "temperature = hot");
+  ASSERT_OK(ecod.status());
+  int calls = 0;
+  StatusOr<size_t> id = engine_->RegisterFixed(
+      *ecod, {}, {}, [&](size_t, const QueryResult&) { ++calls; });
+  ASSERT_OK(id.status());
+
+  // First context push evaluates it once (initial answer).
+  ASSERT_OK(engine_->OnContext(State(*env_, {"Plaka", "hot", "friends"}))
+                .status());
+  EXPECT_EQ(calls, 1);
+  // Context changes do not re-fire a fixed query.
+  ASSERT_OK(engine_->OnContext(State(*env_, {"Perama", "cold", "alone"}))
+                .status());
+  EXPECT_EQ(calls, 1);
+
+  // A profile edit changes its answer.
+  ASSERT_OK(profile_->Insert(
+      Pref(*env_, "temperature = hot", "type", "cafeteria", 0.95)));
+  StatusOr<size_t> fired = engine_->OnProfileChange();
+  ASSERT_OK(fired.status());
+  EXPECT_EQ(calls, 2);
+}
+
+TEST_F(ContinuousTest, ProfileChangeWithSameAnswerDoesNotFire) {
+  int calls = 0;
+  ASSERT_OK(engine_
+                ->RegisterCurrentContext(
+                    {}, {}, [&](size_t, const QueryResult&) { ++calls; })
+                .status());
+  ASSERT_OK(engine_->OnContext(State(*env_, {"Plaka", "hot", "friends"}))
+                .status());
+  EXPECT_EQ(calls, 1);
+  // Edit that does not affect the hot-context answer.
+  ASSERT_OK(profile_->Insert(
+      Pref(*env_, "temperature = freezing", "type", "theater", 0.7)));
+  StatusOr<size_t> fired = engine_->OnProfileChange();
+  ASSERT_OK(fired.status());
+  EXPECT_EQ(*fired, 0u);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(ContinuousTest, SelectionsRestrictStandingQueries) {
+  StatusOr<db::Predicate> sel = db::Predicate::Create(
+      poi_->relation.schema(), "location", db::CompareOp::kEq,
+      db::Value("Plaka"));
+  ASSERT_OK(sel.status());
+  std::vector<db::ScoredTuple> last;
+  ASSERT_OK(engine_
+                ->RegisterCurrentContext(
+                    {*sel}, {},
+                    [&](size_t, const QueryResult& r) { last = r.tuples; })
+                .status());
+  ASSERT_OK(engine_->OnContext(State(*env_, {"Plaka", "hot", "friends"}))
+                .status());
+  const size_t loc = *poi_->relation.schema().IndexOf("location");
+  for (const db::ScoredTuple& t : last) {
+    EXPECT_EQ(poi_->relation.row(t.row_id)[loc].AsString(), "Plaka");
+  }
+}
+
+TEST_F(ContinuousTest, UnregisterStopsCallbacks) {
+  int calls = 0;
+  StatusOr<size_t> id = engine_->RegisterCurrentContext(
+      {}, {}, [&](size_t, const QueryResult&) { ++calls; });
+  ASSERT_OK(id.status());
+  ASSERT_OK(engine_->Unregister(*id));
+  EXPECT_EQ(engine_->active(), 0u);
+  EXPECT_TRUE(engine_->Unregister(*id).IsNotFound());
+  ASSERT_OK(engine_->OnContext(State(*env_, {"Plaka", "hot", "friends"}))
+                .status());
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(ContinuousTest, MultipleRegistrationsGetDistinctIds) {
+  auto cb = [](size_t, const QueryResult&) {};
+  StatusOr<size_t> a = engine_->RegisterCurrentContext({}, {}, cb);
+  StatusOr<size_t> b = engine_->RegisterCurrentContext({}, {}, cb);
+  ASSERT_OK(a.status());
+  ASSERT_OK(b.status());
+  EXPECT_NE(*a, *b);
+  EXPECT_EQ(engine_->active(), 2u);
+}
+
+TEST_F(ContinuousTest, RejectsInvalidContextState) {
+  ContextState bad(std::vector<ValueRef>{ValueRef{0, 9999}, ValueRef{0, 0},
+                                         ValueRef{0, 0}});
+  EXPECT_TRUE(engine_->OnContext(bad).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace ctxpref

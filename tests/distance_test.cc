@@ -1,0 +1,115 @@
+#include "context/distance.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ctxpref {
+namespace {
+
+using ::ctxpref::testing::PaperEnv;
+using ::ctxpref::testing::State;
+
+class DistanceTest : public ::testing::Test {
+ protected:
+  EnvironmentPtr env_ = PaperEnv();
+};
+
+TEST_F(DistanceTest, HierarchyDistanceZeroForSameLevels) {
+  ContextState a = State(*env_, {"Plaka", "warm", "friends"});
+  ContextState b = State(*env_, {"Perama", "cold", "alone"});
+  // Same levels everywhere: distance 0 even though values differ —
+  // the hierarchy distance measures level displacement (Def. 15).
+  EXPECT_DOUBLE_EQ(HierarchyStateDistance(*env_, a, b), 0.0);
+}
+
+TEST_F(DistanceTest, HierarchyDistanceSumsLevelGaps) {
+  ContextState q = State(*env_, {"Plaka", "warm", "friends"});
+  // Athens: 1 level up; good: 1 level up; all: 1 level up.
+  ContextState s = State(*env_, {"Athens", "good", "all"});
+  EXPECT_DOUBLE_EQ(HierarchyStateDistance(*env_, s, q), 3.0);
+  // Greece is 2 up.
+  ContextState g = State(*env_, {"Greece", "warm", "friends"});
+  EXPECT_DOUBLE_EQ(HierarchyStateDistance(*env_, g, q), 2.0);
+}
+
+TEST_F(DistanceTest, HierarchyDistanceIsSymmetric) {
+  ContextState a = State(*env_, {"Athens", "good", "all"});
+  ContextState b = State(*env_, {"Plaka", "warm", "friends"});
+  EXPECT_DOUBLE_EQ(HierarchyStateDistance(*env_, a, b),
+                   HierarchyStateDistance(*env_, b, a));
+}
+
+TEST_F(DistanceTest, JaccardDistanceZeroIffSameValues) {
+  ContextState a = State(*env_, {"Plaka", "warm", "friends"});
+  EXPECT_DOUBLE_EQ(JaccardStateDistance(*env_, a, a), 0.0);
+}
+
+TEST_F(DistanceTest, JaccardDistancePerComponentBounds) {
+  ContextState a = State(*env_, {"Plaka", "warm", "friends"});
+  ContextState b = State(*env_, {"Perama", "cold", "alone"});
+  // Disjoint per component -> 1 each -> n total.
+  EXPECT_DOUBLE_EQ(JaccardStateDistance(*env_, a, b), 3.0);
+}
+
+TEST_F(DistanceTest, JaccardMatchesHandComputation) {
+  ContextState q = State(*env_, {"Plaka", "warm", "friends"});
+  ContextState s = State(*env_, {"Athens", "good", "all"});
+  // location: Athens ⊃ Plaka: 1 - 1/8 (Athens has 8 regions).
+  // temperature: good ⊃ warm: 1 - 1/3. companion: all ⊃ friends: 1 - 1/3.
+  const double expected = (1.0 - 1.0 / 8.0) + (2.0 / 3.0) + (2.0 / 3.0);
+  EXPECT_NEAR(JaccardStateDistance(*env_, s, q), expected, 1e-12);
+}
+
+TEST_F(DistanceTest, StateDistanceDispatch) {
+  ContextState q = State(*env_, {"Plaka", "warm", "friends"});
+  ContextState s = State(*env_, {"Greece", "warm", "friends"});
+  EXPECT_DOUBLE_EQ(StateDistance(DistanceKind::kHierarchy, *env_, s, q),
+                   HierarchyStateDistance(*env_, s, q));
+  EXPECT_DOUBLE_EQ(StateDistance(DistanceKind::kJaccard, *env_, s, q),
+                   JaccardStateDistance(*env_, s, q));
+}
+
+TEST_F(DistanceTest, KindToString) {
+  EXPECT_STREQ(DistanceKindToString(DistanceKind::kHierarchy), "Hierarchy");
+  EXPECT_STREQ(DistanceKindToString(DistanceKind::kJaccard), "Jaccard");
+}
+
+// ---- Paper Property 1: for v1 at L1, v2 = anc(v1) at L2, v3 = anc(v2)
+// at L3, distJ(v3, v1) >= distJ(v2, v1). ----
+TEST_F(DistanceTest, Property1JaccardMonotoneUpTheHierarchy) {
+  const Hierarchy& loc = env_->parameter(0).hierarchy();
+  ValueRef plaka = *loc.Find(0, "Plaka");
+  ValueRef athens = loc.Anc(plaka, 1);
+  ValueRef greece = loc.Anc(plaka, 2);
+  ValueRef all = loc.AllValue();
+  EXPECT_GE(loc.JaccardDistance(greece, plaka),
+            loc.JaccardDistance(athens, plaka));
+  EXPECT_GE(loc.JaccardDistance(all, plaka),
+            loc.JaccardDistance(greece, plaka));
+}
+
+// ---- Paper Property 2: for s2, s3 both covering s1 with s3 covering
+// s2, distH(s3, s1) > distH(s2, s1). ----
+TEST_F(DistanceTest, Property2HierarchyCompatibleWithCovers) {
+  ContextState s1 = State(*env_, {"Plaka", "warm", "friends"});
+  ContextState s2 = State(*env_, {"Athens", "warm", "friends"});
+  ContextState s3 = State(*env_, {"Greece", "good", "friends"});
+  ASSERT_TRUE(s2.Covers(*env_, s1));
+  ASSERT_TRUE(s3.Covers(*env_, s1));
+  ASSERT_TRUE(s3.Covers(*env_, s2));
+  EXPECT_GT(HierarchyStateDistance(*env_, s3, s1),
+            HierarchyStateDistance(*env_, s2, s1));
+}
+
+// ---- Paper Property 3: same statement for the Jaccard distance. ----
+TEST_F(DistanceTest, Property3JaccardCompatibleWithCovers) {
+  ContextState s1 = State(*env_, {"Plaka", "warm", "friends"});
+  ContextState s2 = State(*env_, {"Athens", "warm", "friends"});
+  ContextState s3 = State(*env_, {"Greece", "good", "friends"});
+  EXPECT_GT(JaccardStateDistance(*env_, s3, s1),
+            JaccardStateDistance(*env_, s2, s1));
+}
+
+}  // namespace
+}  // namespace ctxpref

@@ -1,0 +1,134 @@
+#include "preference/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "context/parser.h"
+#include "preference/profile_tree.h"
+#include "tests/test_util.h"
+#include "workload/poi_dataset.h"
+
+namespace ctxpref {
+namespace {
+
+using ::ctxpref::testing::Pref;
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StatusOr<workload::PoiDatabase> poi = workload::MakePoiDatabase(40, 3);
+    ASSERT_OK(poi.status());
+    poi_ = std::make_unique<workload::PoiDatabase>(std::move(*poi));
+    env_ = poi_->env;
+  }
+
+  QueryResult RunQuery(const Profile& profile, const std::string& ecod_text) {
+    StatusOr<ProfileTree> tree = ProfileTree::Build(profile);
+    EXPECT_OK(tree.status());
+    TreeResolver resolver(&*tree);
+    StatusOr<ExtendedDescriptor> ecod =
+        ParseExtendedDescriptor(*env_, ecod_text);
+    EXPECT_OK(ecod.status());
+    ContextualQuery q;
+    q.context = *ecod;
+    StatusOr<QueryResult> result = RankCS(poi_->relation, q, resolver);
+    EXPECT_OK(result.status());
+    return *result;
+  }
+
+  db::RowId RowByName(const std::string& name) {
+    const size_t col = *poi_->relation.schema().IndexOf("name");
+    for (db::RowId r = 0; r < poi_->relation.size(); ++r) {
+      if (poi_->relation.row(r)[col].AsString() == name) return r;
+    }
+    ADD_FAILURE() << "no POI " << name;
+    return 0;
+  }
+
+  std::unique_ptr<workload::PoiDatabase> poi_;
+  EnvironmentPtr env_;
+};
+
+TEST_F(ExplainTest, ContributionCarriesFullProvenance) {
+  Profile p(env_);
+  ASSERT_OK(p.Insert(Pref(*env_, "location = Plaka and temperature = warm",
+                          "name", "Acropolis", 0.8)));
+  QueryResult result =
+      RunQuery(p, "location = Plaka and temperature = warm and "
+                  "accompanying_people = friends");
+  ASSERT_EQ(result.tuples.size(), 1u);
+  std::vector<Contribution> why =
+      ExplainTuple(result, poi_->relation, result.tuples[0].row_id);
+  ASSERT_EQ(why.size(), 1u);
+  EXPECT_EQ(why[0].query_state.ToString(*env_), "(Plaka, warm, friends)");
+  EXPECT_EQ(why[0].matched_state.ToString(*env_), "(Plaka, warm, all)");
+  EXPECT_DOUBLE_EQ(why[0].distance, 1.0);  // Companion one level up.
+  EXPECT_DOUBLE_EQ(why[0].score, 0.8);
+  EXPECT_EQ(why[0].clause.attribute, "name");
+}
+
+TEST_F(ExplainTest, MultipleContributionsForOneTuple) {
+  Profile p(env_);
+  // Two preferences whose clauses both hit open-air parks.
+  ASSERT_OK(p.Insert(Pref(*env_, "temperature = hot", "type", "park", 0.9)));
+  StatusOr<CompositeDescriptor> cod =
+      ParseCompositeDescriptor(*env_, "temperature = hot");
+  StatusOr<ContextualPreference> oa = ContextualPreference::Create(
+      std::move(*cod),
+      AttributeClause{"open_air", db::CompareOp::kEq, db::Value(true)}, 0.7);
+  ASSERT_OK(p.Insert(std::move(*oa)));
+
+  QueryResult result = RunQuery(p, "temperature = hot");
+  ASSERT_FALSE(result.tuples.empty());
+  // Find a park row in the answer (parks are open-air).
+  const size_t type_col = *poi_->relation.schema().IndexOf("type");
+  db::RowId park = poi_->relation.size();
+  for (const db::ScoredTuple& t : result.tuples) {
+    if (poi_->relation.row(t.row_id)[type_col].AsString() == "park") {
+      park = t.row_id;
+      break;
+    }
+  }
+  ASSERT_LT(park, poi_->relation.size());
+  std::vector<Contribution> why = ExplainTuple(result, poi_->relation, park);
+  ASSERT_EQ(why.size(), 2u);  // Both clauses hit.
+}
+
+TEST_F(ExplainTest, NoContributionForForeignTuple) {
+  Profile p(env_);
+  ASSERT_OK(p.Insert(Pref(*env_, "temperature = hot", "type", "park", 0.9)));
+  QueryResult result = RunQuery(p, "temperature = hot");
+  // A museum was never scored.
+  const size_t type_col = *poi_->relation.schema().IndexOf("type");
+  db::RowId museum = poi_->relation.size();
+  for (db::RowId r = 0; r < poi_->relation.size(); ++r) {
+    if (poi_->relation.row(r)[type_col].AsString() == "museum") {
+      museum = r;
+      break;
+    }
+  }
+  ASSERT_LT(museum, poi_->relation.size());
+  EXPECT_TRUE(ExplainTuple(result, poi_->relation, museum).empty());
+  EXPECT_NE(ExplainTupleText(result, poi_->relation, *env_, museum)
+                .find("no preference contributed"),
+            std::string::npos);
+}
+
+TEST_F(ExplainTest, OutOfRangeRowYieldsEmpty) {
+  Profile p(env_);
+  QueryResult result = RunQuery(p, "temperature = hot");
+  EXPECT_TRUE(ExplainTuple(result, poi_->relation, 999999).empty());
+}
+
+TEST_F(ExplainTest, TextNamesStatesAndClause) {
+  Profile p(env_);
+  ASSERT_OK(p.Insert(Pref(*env_, "location = Plaka", "name", "Acropolis", 0.8)));
+  QueryResult result = RunQuery(p, "location = Plaka");
+  std::string text = ExplainTupleText(result, poi_->relation, *env_,
+                                      RowByName("Acropolis"));
+  EXPECT_NE(text.find("(Plaka, all, all)"), std::string::npos);
+  EXPECT_NE(text.find("name = Acropolis"), std::string::npos);
+  EXPECT_NE(text.find("score 0.8"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ctxpref

@@ -1,0 +1,182 @@
+// Model-based suites: random operation sequences applied in lockstep
+// to the real structure and to a trivially correct reference model.
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <optional>
+
+#include "db/ranker.h"
+#include "preference/query_cache.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+#include "workload/query_generator.h"
+
+namespace ctxpref {
+namespace {
+
+using ::ctxpref::testing::PaperEnv;
+
+// ---------------------------------------------------------------------
+// ContextQueryTree vs a reference LRU map.
+// ---------------------------------------------------------------------
+
+/// The obviously-correct cache: a map plus an explicit recency list.
+class ReferenceLru {
+ public:
+  explicit ReferenceLru(size_t capacity) : capacity_(capacity) {}
+
+  const std::vector<db::ScoredTuple>* Lookup(const ContextState& s,
+                                             uint64_t version) {
+    auto it = entries_.find(s);
+    if (it == entries_.end()) return nullptr;
+    if (it->second.version != version) {
+      recency_.remove(s);
+      entries_.erase(it);
+      return nullptr;
+    }
+    Touch(s);
+    return &entries_.find(s)->second.tuples;
+  }
+
+  void Put(const ContextState& s, uint64_t version,
+           std::vector<db::ScoredTuple> tuples) {
+    auto it = entries_.find(s);
+    if (it != entries_.end()) {
+      it->second = Entry{std::move(tuples), version};
+      Touch(s);
+      return;
+    }
+    entries_.emplace(s, Entry{std::move(tuples), version});
+    recency_.push_front(s);
+    if (capacity_ > 0 && entries_.size() > capacity_) {
+      entries_.erase(recency_.back());
+      recency_.pop_back();
+    }
+  }
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::vector<db::ScoredTuple> tuples;
+    uint64_t version;
+  };
+
+  void Touch(const ContextState& s) {
+    recency_.remove(s);
+    recency_.push_front(s);
+  }
+
+  size_t capacity_;
+  std::map<ContextState, Entry> entries_;
+  std::list<ContextState> recency_;
+};
+
+class CacheModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CacheModelTest, RandomOpsMatchReferenceLru) {
+  EnvironmentPtr env = PaperEnv();
+  constexpr size_t kCapacity = 8;
+  ContextQueryTree cache(env, Ordering::Identity(env->size()), kCapacity);
+  ReferenceLru reference(kCapacity);
+
+  Rng rng(GetParam());
+  // A small pool of states so lookups hit often.
+  std::vector<ContextState> pool =
+      workload::RandomQueryBatch(*env, 24, GetParam() ^ 0x9999, 0.4);
+
+  uint64_t version = 1;
+  for (int step = 0; step < 3000; ++step) {
+    const ContextState& s = pool[rng.Uniform(pool.size())];
+    const double roll = rng.NextDouble();
+    if (roll < 0.45) {
+      const std::vector<db::ScoredTuple>* a = cache.Lookup(s, version);
+      const std::vector<db::ScoredTuple>* b = reference.Lookup(s, version);
+      ASSERT_EQ(a != nullptr, b != nullptr) << "step " << step;
+      if (a != nullptr) ASSERT_EQ(*a, *b) << "step " << step;
+    } else if (roll < 0.9) {
+      std::vector<db::ScoredTuple> tuples = {
+          {rng.Uniform(100), rng.NextDouble()}};
+      cache.Put(s, version, tuples);
+      reference.Put(s, version, tuples);
+    } else {
+      ++version;  // Profile "edited": everything cached goes stale.
+    }
+    ASSERT_EQ(cache.size(), reference.size()) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheModelTest,
+                         ::testing::Values(401, 402, 403, 404));
+
+// ---------------------------------------------------------------------
+// Ranker vs brute-force recomputation.
+// ---------------------------------------------------------------------
+
+class RankerModelTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, db::CombinePolicy>> {
+};
+
+TEST_P(RankerModelTest, MatchesBruteForce) {
+  auto [seed, policy] = GetParam();
+  Rng rng(seed);
+  db::Ranker ranker(policy);
+  std::map<db::RowId, std::vector<std::pair<double, double>>> model;
+
+  for (int i = 0; i < 500; ++i) {
+    const db::RowId row = rng.Uniform(40);
+    const double score = rng.NextDouble();
+    const double weight = 0.5 + rng.NextDouble();
+    ranker.AddWeighted(row, score, weight);
+    model[row].emplace_back(score, weight);
+  }
+
+  std::vector<db::ScoredTuple> ranked = ranker.Ranked();
+  ASSERT_EQ(ranked.size(), model.size());
+  for (const db::ScoredTuple& t : ranked) {
+    const auto& obs = model.at(t.row_id);
+    double expected = 0.0;
+    switch (policy) {
+      case db::CombinePolicy::kMax: {
+        expected = obs.front().first;
+        for (const auto& [s, w] : obs) expected = std::max(expected, s);
+        break;
+      }
+      case db::CombinePolicy::kMin: {
+        expected = obs.front().first;
+        for (const auto& [s, w] : obs) expected = std::min(expected, s);
+        break;
+      }
+      case db::CombinePolicy::kAvg:
+      case db::CombinePolicy::kWeighted: {
+        double num = 0, den = 0;
+        for (const auto& [s, w] : obs) {
+          num += s * w;
+          den += w;
+        }
+        expected = num / den;
+        break;
+      }
+    }
+    EXPECT_NEAR(t.score, expected, 1e-9) << "row " << t.row_id;
+  }
+  // Ordering invariant: descending score, ties by ascending row id.
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    ASSERT_TRUE(ranked[i - 1].score > ranked[i].score ||
+                (ranked[i - 1].score == ranked[i].score &&
+                 ranked[i - 1].row_id < ranked[i].row_id));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndPolicies, RankerModelTest,
+    ::testing::Combine(::testing::Values(501, 502),
+                       ::testing::Values(db::CombinePolicy::kMax,
+                                         db::CombinePolicy::kMin,
+                                         db::CombinePolicy::kAvg,
+                                         db::CombinePolicy::kWeighted)));
+
+}  // namespace
+}  // namespace ctxpref

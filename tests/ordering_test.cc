@@ -1,0 +1,85 @@
+#include "preference/ordering.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ctxpref {
+namespace {
+
+using ::ctxpref::testing::PaperEnv;
+using ::ctxpref::testing::Pref;
+
+TEST(OrderingTest, IdentityAndPermutation) {
+  Ordering id = Ordering::Identity(3);
+  EXPECT_EQ(id.size(), 3u);
+  EXPECT_EQ(id.param_at_level(1), 1u);
+  StatusOr<Ordering> perm = Ordering::FromPermutation({2, 0, 1});
+  ASSERT_OK(perm.status());
+  EXPECT_EQ(perm->param_at_level(0), 2u);
+}
+
+TEST(OrderingTest, RejectsNonPermutations) {
+  EXPECT_TRUE(Ordering::FromPermutation({0, 0, 1}).status().IsInvalidArgument());
+  EXPECT_TRUE(Ordering::FromPermutation({0, 3, 1}).status().IsInvalidArgument());
+}
+
+TEST(OrderingTest, ToStringUsesParameterNames) {
+  EnvironmentPtr env = PaperEnv();
+  Ordering o = *Ordering::FromPermutation({2, 1, 0});
+  EXPECT_EQ(o.ToString(*env), "(accompanying_people, temperature, location)");
+}
+
+TEST(OrderingTest, MaxCellEstimateMatchesPaperFormula) {
+  // m1·(1 + m2·(1 + m3)): (2, 3, 4) -> 2·(1 + 3·(1+4)) = 32.
+  EXPECT_EQ(MaxCellEstimate({2, 3, 4}), 32u);
+  // Single parameter: just m1.
+  EXPECT_EQ(MaxCellEstimate({7}), 7u);
+  // The paper's guideline: ascending domains minimize the estimate.
+  EXPECT_LT(MaxCellEstimate({2, 3, 4}), MaxCellEstimate({4, 3, 2}));
+  EXPECT_LT(MaxCellEstimate({2, 4, 3}), MaxCellEstimate({3, 4, 2}));
+}
+
+TEST(OrderingTest, AllOrderingsEnumeratesFactorial) {
+  StatusOr<std::vector<Ordering>> all = AllOrderings(3);
+  ASSERT_OK(all.status());
+  EXPECT_EQ(all->size(), 6u);
+  EXPECT_TRUE(AllOrderings(10).status().IsInvalidArgument());
+}
+
+TEST(OrderingTest, ActiveDomainSizesCountDistinctValues) {
+  EnvironmentPtr env = PaperEnv();
+  Profile p(env);
+  ASSERT_OK(p.Insert(Pref(*env, "location = Plaka", "name", "X", 0.5)));
+  ASSERT_OK(p.Insert(Pref(*env, "location = Kifisia", "name", "Y", 0.5)));
+  ASSERT_OK(p.Insert(
+      Pref(*env, "accompanying_people = friends", "name", "Z", 0.5)));
+  std::vector<uint64_t> active = ActiveDomainSizes(p);
+  // location: Plaka, Kifisia, all -> 3. temperature: all only -> 1.
+  // companions: friends, all -> 2.
+  EXPECT_EQ(active, (std::vector<uint64_t>{3, 1, 2}));
+}
+
+TEST(OrderingTest, GreedyMatchesExhaustiveOnPaperShape) {
+  EnvironmentPtr env = PaperEnv();
+  Profile p(env);
+  // Touch many locations, few temperatures, one companion value.
+  for (const char* region :
+       {"Plaka", "Kifisia", "Monastiraki", "Kolonaki", "Exarchia"}) {
+    ASSERT_OK(p.Insert(Pref(*env, std::string("location = ") + region, "name",
+                            region, 0.5)));
+  }
+  ASSERT_OK(p.Insert(Pref(*env, "temperature = warm", "name", "W", 0.5)));
+  ASSERT_OK(p.Insert(
+      Pref(*env, "accompanying_people = friends", "name", "F", 0.5)));
+
+  Ordering greedy = GreedyOrdering(p);
+  StatusOr<Ordering> best = OptimalOrderingByEstimate(p);
+  ASSERT_OK(best.status());
+  EXPECT_EQ(greedy, *best);
+  // Location (largest active domain) must sit at the last level.
+  EXPECT_EQ(greedy.param_at_level(2), 0u);
+}
+
+}  // namespace
+}  // namespace ctxpref

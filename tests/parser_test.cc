@@ -1,0 +1,147 @@
+#include "context/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ctxpref {
+namespace {
+
+using ::ctxpref::testing::PaperEnv;
+
+class ParserTest : public ::testing::Test {
+ protected:
+  EnvironmentPtr env_ = PaperEnv();
+};
+
+TEST_F(ParserTest, ParsesEquals) {
+  StatusOr<ParameterDescriptor> pd =
+      ParseParameterDescriptor(*env_, "location = Plaka");
+  ASSERT_OK(pd.status());
+  EXPECT_EQ(pd->ToString(*env_), "location = Plaka");
+}
+
+TEST_F(ParserTest, ParsesSet) {
+  StatusOr<ParameterDescriptor> pd =
+      ParseParameterDescriptor(*env_, "temperature in {warm, hot}");
+  ASSERT_OK(pd.status());
+  EXPECT_EQ(pd->ContextOf().size(), 2u);
+}
+
+TEST_F(ParserTest, ParsesRange) {
+  StatusOr<ParameterDescriptor> pd =
+      ParseParameterDescriptor(*env_, "temperature in [mild, hot]");
+  ASSERT_OK(pd.status());
+  EXPECT_EQ(pd->ContextOf().size(), 3u);
+  EXPECT_EQ(pd->kind(), ParameterDescriptor::Kind::kRange);
+}
+
+TEST_F(ParserTest, ParsesLevelQualifiedValue) {
+  StatusOr<ParameterDescriptor> pd =
+      ParseParameterDescriptor(*env_, "location = City:Athens");
+  ASSERT_OK(pd.status());
+  EXPECT_EQ(pd->ContextOf()[0].level, 1);
+  EXPECT_TRUE(ParseParameterDescriptor(*env_, "location = Region:Athens")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(ParserTest, ParsesCompositeWithAnd) {
+  StatusOr<CompositeDescriptor> cod = ParseCompositeDescriptor(
+      *env_, "location = Plaka and temperature = warm");
+  ASSERT_OK(cod.status());
+  EXPECT_EQ(cod->parts().size(), 2u);
+  // Symbolic '&&' also accepted.
+  EXPECT_OK(ParseCompositeDescriptor(
+                *env_, "location = Plaka && temperature = warm")
+                .status());
+}
+
+TEST_F(ParserTest, StarIsEmptyDescriptor) {
+  StatusOr<CompositeDescriptor> cod = ParseCompositeDescriptor(*env_, "*");
+  ASSERT_OK(cod.status());
+  EXPECT_TRUE(cod->empty());
+}
+
+TEST_F(ParserTest, ParsesExtendedWithOr) {
+  StatusOr<ExtendedDescriptor> ecod = ParseExtendedDescriptor(
+      *env_,
+      "(location = Athens and accompanying_people = family) or "
+      "(temperature in {warm, hot})");
+  ASSERT_OK(ecod.status());
+  EXPECT_EQ(ecod->disjuncts().size(), 2u);
+  EXPECT_EQ(ecod->EnumerateStates(*env_).size(), 3u);
+}
+
+TEST_F(ParserTest, ParensOptionalForSingleDisjunct) {
+  EXPECT_OK(
+      ParseExtendedDescriptor(*env_, "location = Plaka and temperature = hot")
+          .status());
+}
+
+TEST_F(ParserTest, KeywordsAreCaseInsensitive) {
+  EXPECT_OK(ParseCompositeDescriptor(
+                *env_, "location = Plaka AND temperature IN {warm}")
+                .status());
+  EXPECT_OK(ParseExtendedDescriptor(
+                *env_, "location = Plaka OR location = Perama")
+                .status());
+}
+
+TEST_F(ParserTest, RoundTripsThroughToString) {
+  const char* inputs[] = {
+      "location = Plaka",
+      "temperature in {warm, hot}",
+      "location = Plaka and temperature in [mild, hot]",
+  };
+  for (const char* input : inputs) {
+    StatusOr<CompositeDescriptor> cod = ParseCompositeDescriptor(*env_, input);
+    ASSERT_OK(cod.status()) << input;
+    std::string text = cod->ToString(*env_);
+    StatusOr<CompositeDescriptor> again = ParseCompositeDescriptor(*env_, text);
+    ASSERT_OK(again.status()) << text;
+    EXPECT_EQ(again->ToString(*env_), text);
+  }
+}
+
+TEST_F(ParserTest, ErrorsAreReported) {
+  // Unknown parameter.
+  EXPECT_TRUE(
+      ParseCompositeDescriptor(*env_, "altitude = high").status().IsNotFound());
+  // Unknown value.
+  EXPECT_TRUE(
+      ParseCompositeDescriptor(*env_, "location = Mars").status().IsNotFound());
+  // Missing operator.
+  EXPECT_TRUE(
+      ParseCompositeDescriptor(*env_, "location Plaka").status().IsCorruption());
+  // Unbalanced brace.
+  EXPECT_TRUE(ParseCompositeDescriptor(*env_, "temperature in {warm")
+                  .status()
+                  .IsCorruption());
+  // Trailing garbage.
+  EXPECT_TRUE(ParseCompositeDescriptor(*env_, "location = Plaka xyz")
+                  .status()
+                  .IsCorruption());
+  // Stray character.
+  EXPECT_TRUE(ParseCompositeDescriptor(*env_, "location = Pl@ka")
+                  .status()
+                  .IsCorruption());
+  // Duplicate parameter condition (Def. 3).
+  EXPECT_TRUE(ParseCompositeDescriptor(
+                  *env_, "location = Plaka and location = Perama")
+                  .status()
+                  .IsInvalidArgument());
+  // '&' and '|' alone are rejected.
+  EXPECT_TRUE(ParseCompositeDescriptor(*env_, "location = Plaka & temperature = hot")
+                  .status()
+                  .IsCorruption());
+}
+
+TEST_F(ParserTest, RangeRequiresSameLevel) {
+  EXPECT_TRUE(ParseCompositeDescriptor(*env_, "temperature in [mild, good]")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace ctxpref

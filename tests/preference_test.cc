@@ -1,0 +1,128 @@
+#include "preference/preference.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ctxpref {
+namespace {
+
+using ::ctxpref::testing::PaperEnv;
+using ::ctxpref::testing::Pref;
+
+class PreferenceTest : public ::testing::Test {
+ protected:
+  EnvironmentPtr env_ = PaperEnv();
+};
+
+TEST_F(PreferenceTest, CreateValidatesScore) {
+  StatusOr<CompositeDescriptor> cod =
+      ParseCompositeDescriptor(*env_, "location = Plaka");
+  ASSERT_OK(cod.status());
+  AttributeClause clause{"type", db::CompareOp::kEq, db::Value("museum")};
+  EXPECT_TRUE(ContextualPreference::Create(*cod, clause, -0.1)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ContextualPreference::Create(*cod, clause, 1.5)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_OK(ContextualPreference::Create(*cod, clause, 0.0).status());
+  EXPECT_OK(ContextualPreference::Create(*cod, clause, 1.0).status());
+}
+
+TEST_F(PreferenceTest, CreateRejectsEmptyAttribute) {
+  StatusOr<CompositeDescriptor> cod = ParseCompositeDescriptor(*env_, "*");
+  EXPECT_TRUE(ContextualPreference::Create(
+                  *cod, AttributeClause{"", db::CompareOp::kEq, db::Value(1.0)},
+                  0.5)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(PreferenceTest, StatesExpandDescriptor) {
+  ContextualPreference p = Pref(
+      *env_, "location = Plaka and temperature in {warm, hot}", "name",
+      "Acropolis", 0.8);
+  EXPECT_EQ(p.States(*env_).size(), 2u);
+}
+
+TEST_F(PreferenceTest, ToStringMatchesPaperShape) {
+  ContextualPreference p =
+      Pref(*env_, "accompanying_people = friends", "type", "brewery", 0.9);
+  EXPECT_EQ(p.ToString(*env_),
+            "(accompanying_people = friends), (type = brewery), 0.900000");
+}
+
+TEST_F(PreferenceTest, ClauseToString) {
+  AttributeClause c{"admission", db::CompareOp::kLe, db::Value(10.0)};
+  EXPECT_EQ(c.ToString(), "admission <= 10");
+}
+
+// ---- Def. 6 conflicts ----
+
+TEST_F(PreferenceTest, ConflictRequiresAllThreeConditions) {
+  // Same clause, overlapping context, different scores: conflict.
+  ContextualPreference a =
+      Pref(*env_, "location = Plaka and temperature = warm", "name",
+           "Acropolis", 0.8);
+  ContextualPreference b =
+      Pref(*env_, "location = Plaka and temperature in {warm, hot}", "name",
+           "Acropolis", 0.3);
+  EXPECT_TRUE(ConflictsWith(*env_, a, b));
+  EXPECT_TRUE(ConflictsWith(*env_, b, a));
+}
+
+TEST_F(PreferenceTest, NoConflictWhenContextsDisjoint) {
+  ContextualPreference a =
+      Pref(*env_, "location = Plaka", "name", "Acropolis", 0.8);
+  ContextualPreference b =
+      Pref(*env_, "location = Perama", "name", "Acropolis", 0.3);
+  EXPECT_FALSE(ConflictsWith(*env_, a, b));
+}
+
+TEST_F(PreferenceTest, NoConflictWhenClausesDiffer) {
+  ContextualPreference a =
+      Pref(*env_, "location = Plaka", "name", "Acropolis", 0.8);
+  ContextualPreference b =
+      Pref(*env_, "location = Plaka", "type", "museum", 0.3);
+  EXPECT_FALSE(ConflictsWith(*env_, a, b));
+  // Same attribute, different value: no conflict either.
+  ContextualPreference c =
+      Pref(*env_, "location = Plaka", "name", "White_Tower", 0.3);
+  EXPECT_FALSE(ConflictsWith(*env_, a, c));
+}
+
+TEST_F(PreferenceTest, NoConflictWhenScoresEqual) {
+  ContextualPreference a =
+      Pref(*env_, "location = Plaka", "name", "Acropolis", 0.8);
+  ContextualPreference b =
+      Pref(*env_, "location = Plaka and temperature = warm", "name",
+           "Acropolis", 0.8);
+  EXPECT_FALSE(ConflictsWith(*env_, a, b));
+}
+
+TEST_F(PreferenceTest, HierarchicalOverlapIsNotSetOverlap) {
+  // (Athens, all, all) and (Plaka, all, all) denote different states;
+  // Def. 6 intersects state sets literally, so no conflict even though
+  // Athens covers Plaka. (Resolution handles the hierarchy; conflicts
+  // are per-state.)
+  ContextualPreference a =
+      Pref(*env_, "location = Athens", "type", "museum", 0.9);
+  ContextualPreference b =
+      Pref(*env_, "location = Plaka", "type", "museum", 0.2);
+  EXPECT_FALSE(ConflictsWith(*env_, a, b));
+}
+
+TEST_F(PreferenceTest, EqualityIsStructural) {
+  ContextualPreference a =
+      Pref(*env_, "location = Plaka", "name", "Acropolis", 0.8);
+  ContextualPreference b =
+      Pref(*env_, "location = Plaka", "name", "Acropolis", 0.8);
+  ContextualPreference c =
+      Pref(*env_, "location = Plaka", "name", "Acropolis", 0.9);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace ctxpref

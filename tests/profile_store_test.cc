@@ -1,0 +1,148 @@
+#include "storage/profile_store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "tests/test_util.h"
+#include "workload/default_profiles.h"
+
+namespace ctxpref::storage {
+namespace {
+
+using ::ctxpref::testing::PaperEnv;
+using ::ctxpref::testing::Pref;
+
+class ProfileStoreTest : public ::testing::Test {
+ protected:
+  EnvironmentPtr env_ = PaperEnv();
+};
+
+TEST_F(ProfileStoreTest, CreateAndLookupUsers) {
+  ProfileStore store(env_);
+  ASSERT_OK(store.CreateUser("alice"));
+  ASSERT_OK(store.CreateUser("bob"));
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.UserIds(), (std::vector<std::string>{"alice", "bob"}));
+  StatusOr<Profile*> p = store.GetProfile("alice");
+  ASSERT_OK(p.status());
+  EXPECT_TRUE((*p)->empty());
+  EXPECT_TRUE(store.GetProfile("carol").status().IsNotFound());
+}
+
+TEST_F(ProfileStoreTest, ValidatesUserIds) {
+  ProfileStore store(env_);
+  EXPECT_TRUE(store.CreateUser("").IsInvalidArgument());
+  EXPECT_TRUE(store.CreateUser("a/b").IsInvalidArgument());
+  EXPECT_TRUE(store.CreateUser("..").IsInvalidArgument());
+  ASSERT_OK(store.CreateUser("ok-user_1"));
+  EXPECT_TRUE(store.CreateUser("ok-user_1").IsAlreadyExists());
+}
+
+TEST_F(ProfileStoreTest, SeedsWithDefaultProfile) {
+  ProfileStore store(env_);
+  StatusOr<Profile> def = workload::MakeDefaultProfile(
+      env_, workload::AgeGroup::kOver50, workload::Sex::kMale,
+      workload::Taste::kMainstream);
+  ASSERT_OK(def.status());
+  const size_t n = def->size();
+  ASSERT_OK(store.CreateUser("carol", std::move(*def)));
+  StatusOr<Profile*> p = store.GetProfile("carol");
+  ASSERT_OK(p.status());
+  EXPECT_EQ((*p)->size(), n);
+}
+
+TEST_F(ProfileStoreTest, RejectsForeignEnvironmentProfiles) {
+  ProfileStore store(env_);
+  EnvironmentPtr other = PaperEnv();  // Equal shape, different instance.
+  Profile foreign(other);
+  EXPECT_TRUE(store.CreateUser("dave", std::move(foreign))
+                  .IsInvalidArgument());
+}
+
+TEST_F(ProfileStoreTest, TreeIsCachedAndInvalidatedByEdits) {
+  ProfileStore store(env_);
+  ASSERT_OK(store.CreateUser("alice"));
+  StatusOr<Profile*> p = store.GetProfile("alice");
+  ASSERT_OK((*p)->Insert(Pref(*env_, "location = Plaka", "name", "X", 0.5)));
+
+  StatusOr<const ProfileTree*> t1 = store.GetTree("alice");
+  ASSERT_OK(t1.status());
+  EXPECT_EQ((*t1)->PathCount(), 1u);
+  // Unchanged profile: same tree object.
+  StatusOr<const ProfileTree*> t2 = store.GetTree("alice");
+  ASSERT_OK(t2.status());
+  EXPECT_EQ(*t1, *t2);
+  // Edit invalidates.
+  ASSERT_OK((*p)->Insert(Pref(*env_, "location = Athens", "name", "Y", 0.5)));
+  StatusOr<const ProfileTree*> t3 = store.GetTree("alice");
+  ASSERT_OK(t3.status());
+  EXPECT_EQ((*t3)->PathCount(), 2u);
+}
+
+TEST_F(ProfileStoreTest, RemoveUser) {
+  ProfileStore store(env_);
+  ASSERT_OK(store.CreateUser("alice"));
+  ASSERT_OK(store.RemoveUser("alice"));
+  EXPECT_TRUE(store.RemoveUser("alice").IsNotFound());
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST_F(ProfileStoreTest, SaveAllAndLoadDirRoundTrip) {
+  namespace fs = std::filesystem;
+  const std::string dir = ::testing::TempDir() + "/ctxpref_store_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  ProfileStore store(env_);
+  ASSERT_OK(store.CreateUser("alice"));
+  ASSERT_OK(store.CreateUser("bob"));
+  StatusOr<Profile*> alice = store.GetProfile("alice");
+  ASSERT_OK(
+      (*alice)->Insert(Pref(*env_, "location = Plaka", "name", "X", 0.5)));
+  StatusOr<Profile*> bob = store.GetProfile("bob");
+  ASSERT_OK((*bob)->Insert(
+      Pref(*env_, "temperature = good", "type", "park", 0.8)));
+
+  ASSERT_OK(store.SaveAll(dir));
+  StatusOr<ProfileStore> loaded = ProfileStore::LoadDir(env_, dir);
+  ASSERT_OK(loaded.status());
+  EXPECT_EQ(loaded->UserIds(), store.UserIds());
+  for (const std::string& id : store.UserIds()) {
+    StatusOr<Profile*> orig = store.GetProfile(id);
+    StatusOr<Profile*> back = loaded->GetProfile(id);
+    ASSERT_OK(back.status());
+    EXPECT_EQ((*back)->ToText(), (*orig)->ToText()) << id;
+  }
+  fs::remove_all(dir);
+}
+
+TEST_F(ProfileStoreTest, SaveAllRequiresDirectory) {
+  ProfileStore store(env_);
+  ASSERT_OK(store.CreateUser("alice"));
+  EXPECT_TRUE(store.SaveAll("/nonexistent/dir/xyz").IsInvalidArgument());
+  EXPECT_TRUE(
+      ProfileStore::LoadDir(env_, "/nonexistent/dir/xyz").status().IsNotFound());
+}
+
+TEST_F(ProfileStoreTest, LoadDirIgnoresOtherFiles) {
+  namespace fs = std::filesystem;
+  const std::string dir = ::testing::TempDir() + "/ctxpref_store_mixed";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  {
+    std::ofstream junk(dir + "/notes.txt");
+    junk << "not a profile";
+  }
+  ProfileStore store(env_);
+  ASSERT_OK(store.CreateUser("solo"));
+  ASSERT_OK(store.SaveAll(dir));
+  StatusOr<ProfileStore> loaded = ProfileStore::LoadDir(env_, dir);
+  ASSERT_OK(loaded.status());
+  EXPECT_EQ(loaded->size(), 1u);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ctxpref::storage

@@ -1,0 +1,197 @@
+#include "preference/qualitative.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "context/parser.h"
+#include "tests/test_util.h"
+#include "workload/poi_dataset.h"
+
+namespace ctxpref {
+namespace {
+
+using ::ctxpref::testing::PaperEnv;
+using ::ctxpref::testing::State;
+
+class QualitativeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = PaperEnv();
+    StatusOr<db::Schema> schema = db::Schema::Create(
+        {{"name", db::ColumnType::kString},
+         {"type", db::ColumnType::kString},
+         {"open_air", db::ColumnType::kBool}});
+    ASSERT_OK(schema.status());
+    relation_ = std::make_unique<db::Relation>(std::move(*schema));
+    ASSERT_OK(relation_->Append(
+        {db::Value("Acropolis"), db::Value("site"), db::Value(true)}));
+    ASSERT_OK(relation_->Append(
+        {db::Value("Museum"), db::Value("museum"), db::Value(false)}));
+    ASSERT_OK(relation_->Append(
+        {db::Value("Brewery"), db::Value("brewery"), db::Value(false)}));
+    ASSERT_OK(relation_->Append(
+        {db::Value("Park"), db::Value("park"), db::Value(true)}));
+  }
+
+  db::Predicate Pred(const char* col, const char* value) {
+    StatusOr<db::Predicate> p = db::Predicate::Create(
+        relation_->schema(), col, db::CompareOp::kEq, db::Value(value));
+    EXPECT_OK(p.status());
+    return *p;
+  }
+
+  db::Predicate PredBool(const char* col, bool value) {
+    StatusOr<db::Predicate> p = db::Predicate::Create(
+        relation_->schema(), col, db::CompareOp::kEq, db::Value(value));
+    EXPECT_OK(p.status());
+    return *p;
+  }
+
+  QualitativePreference MakePref(const std::string& cod_text,
+                                 std::vector<db::Predicate> better,
+                                 std::vector<db::Predicate> worse) {
+    StatusOr<CompositeDescriptor> cod =
+        ParseCompositeDescriptor(*env_, cod_text);
+    EXPECT_OK(cod.status());
+    StatusOr<QualitativePreference> pref = QualitativePreference::Create(
+        std::move(*cod), std::move(better), std::move(worse));
+    EXPECT_OK(pref.status());
+    return *pref;
+  }
+
+  EnvironmentPtr env_;
+  std::unique_ptr<db::Relation> relation_;
+};
+
+TEST_F(QualitativeTest, CreateRejectsDoublyEmpty) {
+  StatusOr<CompositeDescriptor> cod = ParseCompositeDescriptor(*env_, "*");
+  EXPECT_TRUE(QualitativePreference::Create(*cod, {}, {})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(QualitativeTest, DominatesChecksBothSides) {
+  QualitativePreference pref =
+      MakePref("*", {Pred("type", "museum")}, {Pred("type", "brewery")});
+  EXPECT_TRUE(pref.Dominates(relation_->row(1), relation_->row(2)));
+  EXPECT_FALSE(pref.Dominates(relation_->row(2), relation_->row(1)));
+  EXPECT_FALSE(pref.Dominates(relation_->row(1), relation_->row(3)));
+}
+
+TEST_F(QualitativeTest, EmptySideMatchesEverything) {
+  // "Open-air beats everything (else)."
+  QualitativePreference pref = MakePref("*", {PredBool("open_air", true)}, {});
+  EXPECT_TRUE(pref.Dominates(relation_->row(0), relation_->row(1)));
+  // Including other open-air tuples — winnow handles mutual domination.
+  EXPECT_TRUE(pref.Dominates(relation_->row(0), relation_->row(3)));
+}
+
+TEST_F(QualitativeTest, WinnowKeepsUndominated) {
+  QualitativePreference pref =
+      MakePref("*", {Pred("type", "museum")}, {Pred("type", "brewery")});
+  std::vector<const QualitativePreference*> prefs = {&pref};
+  std::vector<db::RowId> winners = Winnow(*relation_, prefs);
+  // Only the brewery (row 2) is dominated.
+  EXPECT_EQ(winners, (std::vector<db::RowId>{0, 1, 3}));
+}
+
+TEST_F(QualitativeTest, WinnowWithNoPreferencesKeepsAll) {
+  std::vector<db::RowId> winners = Winnow(*relation_, {});
+  EXPECT_EQ(winners.size(), relation_->size());
+}
+
+TEST_F(QualitativeTest, MutualDominationEliminatesBoth) {
+  // open_air=true beats open_air=true: every open-air tuple dominates
+  // every *other* open-air tuple, so all of them fall; indoor tuples
+  // are never dominated.
+  QualitativePreference pref =
+      MakePref("*", {PredBool("open_air", true)}, {PredBool("open_air", true)});
+  std::vector<const QualitativePreference*> prefs = {&pref};
+  std::vector<db::RowId> winners = Winnow(*relation_, prefs);
+  EXPECT_EQ(winners, (std::vector<db::RowId>{1, 2}));
+}
+
+TEST_F(QualitativeTest, ResolvePicksMostSpecificContext) {
+  QualitativeProfile profile(env_);
+  ASSERT_OK(profile.Insert(MakePref("location = Greece",
+                                    {Pred("type", "site")},
+                                    {Pred("type", "museum")})));
+  ASSERT_OK(profile.Insert(MakePref("location = Athens",
+                                    {Pred("type", "brewery")},
+                                    {Pred("type", "park")})));
+  // Query in Plaka: both contexts cover, Athens is nearer.
+  std::vector<const QualitativePreference*> prefs =
+      profile.Resolve(State(*env_, {"Plaka", "warm", "friends"}));
+  ASSERT_EQ(prefs.size(), 1u);
+  EXPECT_EQ(prefs[0]->better().front().constant().AsString(), "brewery");
+  // Query in Perama (Ioannina): only Greece covers.
+  prefs = profile.Resolve(State(*env_, {"Perama", "warm", "friends"}));
+  ASSERT_EQ(prefs.size(), 1u);
+  EXPECT_EQ(prefs[0]->better().front().constant().AsString(), "site");
+}
+
+TEST_F(QualitativeTest, ResolveKeepsTiedStates) {
+  QualitativeProfile profile(env_);
+  ASSERT_OK(profile.Insert(MakePref("temperature = warm",
+                                    {Pred("type", "park")},
+                                    {Pred("type", "museum")})));
+  ASSERT_OK(profile.Insert(MakePref("accompanying_people = friends",
+                                    {Pred("type", "brewery")},
+                                    {Pred("type", "park")})));
+  // (all, warm, all) and (all, all, friends) are both distance 1+... —
+  // hierarchy distance: warm exact (0) + location all (0 vs all) ...
+  // For query (all, warm, friends): state (all,warm,all) has companion
+  // all vs friends = 1; state (all,all,friends) has temperature all vs
+  // warm = 2. Hierarchy distance picks the first only.
+  std::vector<const QualitativePreference*> prefs = profile.Resolve(
+      State(*env_, {"all", "warm", "friends"}), DistanceKind::kHierarchy);
+  ASSERT_EQ(prefs.size(), 1u);
+  EXPECT_EQ(prefs[0]->better().front().constant().AsString(), "park");
+}
+
+TEST_F(QualitativeTest, ContextualWinnowEndToEnd) {
+  QualitativeProfile profile(env_);
+  // With friends: breweries beat museums.
+  ASSERT_OK(profile.Insert(MakePref("accompanying_people = friends",
+                                    {Pred("type", "brewery")},
+                                    {Pred("type", "museum")})));
+  // With family: parks beat breweries.
+  ASSERT_OK(profile.Insert(MakePref("accompanying_people = family",
+                                    {Pred("type", "park")},
+                                    {Pred("type", "brewery")})));
+
+  std::vector<db::RowId> friends = ContextualWinnow(
+      *relation_, profile, State(*env_, {"Plaka", "warm", "friends"}));
+  EXPECT_EQ(friends, (std::vector<db::RowId>{0, 2, 3}));  // Museum out.
+
+  std::vector<db::RowId> family = ContextualWinnow(
+      *relation_, profile, State(*env_, {"Plaka", "warm", "family"}));
+  EXPECT_EQ(family, (std::vector<db::RowId>{0, 1, 3}));  // Brewery out.
+
+  // No covering context: everything kept.
+  std::vector<db::RowId> alone = ContextualWinnow(
+      *relation_, profile, State(*env_, {"Plaka", "warm", "alone"}));
+  EXPECT_EQ(alone.size(), relation_->size());
+}
+
+TEST_F(QualitativeTest, ResolveCountsCellAccesses) {
+  QualitativeProfile profile(env_);
+  ASSERT_OK(profile.Insert(MakePref("location = Athens",
+                                    {Pred("type", "site")},
+                                    {Pred("type", "museum")})));
+  AccessCounter counter;
+  profile.Resolve(State(*env_, {"Plaka", "warm", "friends"}),
+                  DistanceKind::kHierarchy, &counter);
+  EXPECT_GT(counter.cells(), 0u);
+}
+
+TEST_F(QualitativeTest, ToStringIsReadable) {
+  QualitativePreference pref =
+      MakePref("location = Athens", {Pred("type", "site")}, {});
+  EXPECT_EQ(pref.ToString(*env_, relation_->schema()),
+            "[location = Athens] (type = site) > (<any>)");
+}
+
+}  // namespace
+}  // namespace ctxpref

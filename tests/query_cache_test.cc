@@ -1,0 +1,229 @@
+#include "preference/query_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "context/parser.h"
+#include "tests/test_util.h"
+#include "workload/poi_dataset.h"
+
+namespace ctxpref {
+namespace {
+
+using ::ctxpref::testing::Pref;
+using ::ctxpref::testing::State;
+
+class QueryCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StatusOr<workload::PoiDatabase> poi = workload::MakePoiDatabase(30, 5);
+    ASSERT_OK(poi.status());
+    poi_ = std::make_unique<workload::PoiDatabase>(std::move(*poi));
+    env_ = poi_->env;
+  }
+
+  ContextQueryTree MakeCache(size_t capacity = 0) {
+    return ContextQueryTree(env_, Ordering::Identity(env_->size()), capacity);
+  }
+
+  std::unique_ptr<workload::PoiDatabase> poi_;
+  EnvironmentPtr env_;
+};
+
+TEST_F(QueryCacheTest, PutThenLookupHits) {
+  ContextQueryTree cache = MakeCache();
+  ContextState s = State(*env_, {"Plaka", "warm", "friends"});
+  cache.Put(s, 1, {{3, 0.9}, {5, 0.7}});
+  const std::vector<db::ScoredTuple>* hit = cache.Lookup(s, 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->size(), 2u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(QueryCacheTest, MissOnAbsentState) {
+  ContextQueryTree cache = MakeCache();
+  EXPECT_EQ(cache.Lookup(State(*env_, {"Plaka", "warm", "friends"}), 1),
+            nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST_F(QueryCacheTest, StaleVersionInvalidatesOnTouch) {
+  ContextQueryTree cache = MakeCache();
+  ContextState s = State(*env_, {"Plaka", "warm", "friends"});
+  cache.Put(s, 1, {{3, 0.9}});
+  EXPECT_EQ(cache.Lookup(s, 2), nullptr);  // Profile moved to version 2.
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.misses(), 1u);
+  // Re-populate at the new version.
+  cache.Put(s, 2, {{3, 0.9}});
+  EXPECT_NE(cache.Lookup(s, 2), nullptr);
+}
+
+TEST_F(QueryCacheTest, PutOverwritesInPlace) {
+  ContextQueryTree cache = MakeCache();
+  ContextState s = State(*env_, {"Plaka", "warm", "friends"});
+  cache.Put(s, 1, {{3, 0.9}});
+  cache.Put(s, 1, {{4, 0.8}});
+  EXPECT_EQ(cache.size(), 1u);
+  const std::vector<db::ScoredTuple>* hit = cache.Lookup(s, 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ((*hit)[0].row_id, 4u);
+}
+
+TEST_F(QueryCacheTest, LruEvictionBeyondCapacity) {
+  ContextQueryTree cache = MakeCache(/*capacity=*/2);
+  ContextState a = State(*env_, {"Plaka", "warm", "friends"});
+  ContextState b = State(*env_, {"Kifisia", "hot", "family"});
+  ContextState c = State(*env_, {"Perama", "cold", "alone"});
+  cache.Put(a, 1, {{1, 0.5}});
+  cache.Put(b, 1, {{2, 0.5}});
+  // Touch `a` so `b` is the LRU victim.
+  EXPECT_NE(cache.Lookup(a, 1), nullptr);
+  cache.Put(c, 1, {{3, 0.5}});
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_NE(cache.Lookup(a, 1), nullptr);
+  EXPECT_EQ(cache.Lookup(b, 1), nullptr);  // Evicted.
+  EXPECT_NE(cache.Lookup(c, 1), nullptr);
+}
+
+TEST_F(QueryCacheTest, InvalidateAllDropsEverything) {
+  ContextQueryTree cache = MakeCache();
+  cache.Put(State(*env_, {"Plaka", "warm", "friends"}), 1, {{1, 0.5}});
+  cache.Put(State(*env_, {"Kifisia", "hot", "family"}), 1, {{2, 0.5}});
+  cache.InvalidateAll();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup(State(*env_, {"Plaka", "warm", "friends"}), 1),
+            nullptr);
+}
+
+TEST_F(QueryCacheTest, LookupCountsCellAccesses) {
+  ContextQueryTree cache = MakeCache();
+  ContextState s = State(*env_, {"Plaka", "warm", "friends"});
+  cache.Put(s, 1, {{1, 0.5}});
+  AccessCounter counter;
+  cache.Lookup(s, 1, &counter);
+  EXPECT_EQ(counter.cells(), 3u);  // One cell per level, single-path trie.
+}
+
+TEST_F(QueryCacheTest, CachedRankCSMatchesUncachedAndHits) {
+  Profile profile(env_);
+  ASSERT_OK(profile.Insert(
+      Pref(*env_, "temperature = hot", "type", "park", 0.9)));
+  ASSERT_OK(profile.Insert(
+      Pref(*env_, "accompanying_people = friends", "type", "brewery", 0.7)));
+  StatusOr<ProfileTree> tree = ProfileTree::Build(profile);
+  ASSERT_OK(tree.status());
+  TreeResolver resolver(&*tree);
+  ContextQueryTree cache = MakeCache(16);
+
+  StatusOr<ExtendedDescriptor> ecod = ParseExtendedDescriptor(
+      *env_,
+      "location = Plaka and temperature = hot and "
+      "accompanying_people = friends");
+  ASSERT_OK(ecod.status());
+  ContextualQuery q;
+  q.context = *ecod;
+
+  StatusOr<QueryResult> uncached = RankCS(poi_->relation, q, resolver);
+  ASSERT_OK(uncached.status());
+
+  StatusOr<QueryResult> first =
+      CachedRankCS(poi_->relation, q, resolver, profile, cache);
+  ASSERT_OK(first.status());
+  EXPECT_EQ(first->tuples, uncached->tuples);
+  EXPECT_EQ(cache.hits(), 0u);
+
+  StatusOr<QueryResult> second =
+      CachedRankCS(poi_->relation, q, resolver, profile, cache);
+  ASSERT_OK(second.status());
+  EXPECT_EQ(second->tuples, uncached->tuples);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST_F(QueryCacheTest, CachedRankCSRespectsProfileVersion) {
+  Profile profile(env_);
+  ASSERT_OK(profile.Insert(
+      Pref(*env_, "temperature = hot", "type", "park", 0.9)));
+  StatusOr<ProfileTree> tree = ProfileTree::Build(profile);
+  ASSERT_OK(tree.status());
+  TreeResolver resolver(&*tree);
+  ContextQueryTree cache = MakeCache(16);
+
+  StatusOr<ExtendedDescriptor> ecod =
+      ParseExtendedDescriptor(*env_, "temperature = hot");
+  ContextualQuery q;
+  q.context = *ecod;
+
+  ASSERT_OK(
+      CachedRankCS(poi_->relation, q, resolver, profile, cache).status());
+  // Mutate the profile: the cached state is now stale.
+  ASSERT_OK(profile.Insert(
+      Pref(*env_, "temperature = hot", "type", "museum", 0.8)));
+  StatusOr<ProfileTree> tree2 = ProfileTree::Build(profile);
+  ASSERT_OK(tree2.status());
+  TreeResolver resolver2(&*tree2);
+  StatusOr<QueryResult> fresh =
+      CachedRankCS(poi_->relation, q, resolver2, profile, cache);
+  ASSERT_OK(fresh.status());
+  // The new museum preference must show up (stale entry not served).
+  const size_t type_col = *poi_->relation.schema().IndexOf("type");
+  bool saw_museum = false;
+  for (const db::ScoredTuple& t : fresh->tuples) {
+    saw_museum |=
+        poi_->relation.row(t.row_id)[type_col].AsString() == "museum";
+  }
+  EXPECT_TRUE(saw_museum);
+}
+
+TEST_F(QueryCacheTest, CachedRankCSAppliesSelectionsPostCache) {
+  Profile profile(env_);
+  ASSERT_OK(profile.Insert(Pref(*env_, "*", "type", "park", 0.9)));
+  StatusOr<ProfileTree> tree = ProfileTree::Build(profile);
+  ASSERT_OK(tree.status());
+  TreeResolver resolver(&*tree);
+  ContextQueryTree cache = MakeCache(16);
+
+  StatusOr<ExtendedDescriptor> ecod =
+      ParseExtendedDescriptor(*env_, "temperature = hot");
+  ContextualQuery unrestricted;
+  unrestricted.context = *ecod;
+  ASSERT_OK(CachedRankCS(poi_->relation, unrestricted, resolver, profile,
+                         cache)
+                .status());
+
+  // Same context state, now with a selection: served from cache but
+  // filtered.
+  ContextualQuery restricted = unrestricted;
+  StatusOr<db::Predicate> sel = db::Predicate::Create(
+      poi_->relation.schema(), "location", db::CompareOp::kEq,
+      db::Value("Plaka"));
+  ASSERT_OK(sel.status());
+  restricted.selections.push_back(*sel);
+  StatusOr<QueryResult> result =
+      CachedRankCS(poi_->relation, restricted, resolver, profile, cache);
+  ASSERT_OK(result.status());
+  EXPECT_GE(cache.hits(), 1u);
+  const size_t loc_col = *poi_->relation.schema().IndexOf("location");
+  for (const db::ScoredTuple& t : result->tuples) {
+    EXPECT_EQ(poi_->relation.row(t.row_id)[loc_col].AsString(), "Plaka");
+  }
+}
+
+TEST_F(QueryCacheTest, CachedRankCSRejectsNonAssociativePolicies) {
+  Profile profile(env_);
+  StatusOr<ProfileTree> tree = ProfileTree::Build(profile);
+  ASSERT_OK(tree.status());
+  TreeResolver resolver(&*tree);
+  ContextQueryTree cache = MakeCache();
+  ContextualQuery q;
+  QueryOptions options;
+  options.combine = db::CombinePolicy::kAvg;
+  EXPECT_TRUE(CachedRankCS(poi_->relation, q, resolver, profile, cache,
+                           options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace ctxpref

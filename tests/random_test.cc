@@ -1,0 +1,121 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace ctxpref {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Uniform(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(15);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(ZipfTest, AZeroIsUniform) {
+  ZipfDistribution zipf(10, 0.0);
+  Rng rng(19);
+  std::map<uint64_t, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng)];
+  for (const auto& [k, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.02) << "value " << k;
+  }
+}
+
+TEST(ZipfTest, SkewFavorsSmallIndices) {
+  ZipfDistribution zipf(100, 1.5);
+  Rng rng(21);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(rng)];
+  // P(0) for zipf(1.5, n=100) is ~0.39; the tail is thin.
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_GT(counts[0], 15000);
+}
+
+TEST(ZipfTest, SamplesAlwaysInRange) {
+  ZipfDistribution zipf(5, 3.5);
+  Rng rng(23);
+  for (int i = 0; i < 5000; ++i) EXPECT_LT(zipf.Sample(rng), 5u);
+}
+
+TEST(ZipfTest, HigherSkewConcentratesMore) {
+  Rng rng1(25), rng2(25);
+  ZipfDistribution mild(50, 0.5), steep(50, 3.0);
+  int mild_zero = 0, steep_zero = 0;
+  for (int i = 0; i < 20000; ++i) {
+    mild_zero += (mild.Sample(rng1) == 0);
+    steep_zero += (steep.Sample(rng2) == 0);
+  }
+  EXPECT_GT(steep_zero, mild_zero * 2);
+}
+
+}  // namespace
+}  // namespace ctxpref

@@ -1,0 +1,94 @@
+// Keeps the README honest: the quickstart snippet, almost verbatim
+// (error handling via ASSERT instead of *-deref), must compile and
+// behave as the README claims.
+
+#include <gtest/gtest.h>
+
+#include "context/parser.h"
+#include "preference/contextual_query.h"
+#include "preference/profile_tree.h"
+#include "tests/test_util.h"
+#include "workload/poi_dataset.h"
+
+namespace ctxpref {
+namespace {
+
+TEST(ReadmeSnippetTest, QuickstartWorksAsAdvertised) {
+  // 1. A context environment.
+  StatusOr<EnvironmentPtr> env_or = workload::MakePaperEnvironment();
+  ASSERT_OK(env_or.status());
+  EnvironmentPtr env = *env_or;
+
+  // 2. A profile of contextual preferences.
+  Profile profile(env);
+  StatusOr<CompositeDescriptor> cod = ParseCompositeDescriptor(
+      *env, "location = Plaka and temperature in {warm, hot}");
+  ASSERT_OK(cod.status());
+  StatusOr<ContextualPreference> pref = ContextualPreference::Create(
+      std::move(*cod),
+      {"name", db::CompareOp::kEq, db::Value("Acropolis")}, 0.8);
+  ASSERT_OK(pref.status());
+  Status st = profile.Insert(std::move(*pref));
+  ASSERT_OK(st);
+
+  // Conflicting re-insert is rejected, as the README promises.
+  StatusOr<CompositeDescriptor> cod2 = ParseCompositeDescriptor(
+      *env, "location = Plaka and temperature = warm");
+  ASSERT_OK(cod2.status());
+  StatusOr<ContextualPreference> conflicting = ContextualPreference::Create(
+      std::move(*cod2),
+      {"name", db::CompareOp::kEq, db::Value("Acropolis")}, 0.2);
+  ASSERT_OK(conflicting.status());
+  EXPECT_TRUE(profile.Insert(std::move(*conflicting)).IsConflict());
+
+  // 3. Index it.
+  StatusOr<ProfileTree> tree_or = ProfileTree::Build(profile);
+  ASSERT_OK(tree_or.status());
+  ProfileTree tree = std::move(*tree_or);
+  TreeResolver resolver(&tree);
+
+  // 4. Resolve a query context.
+  StatusOr<ContextState> now =
+      ContextState::FromNames(*env, {"Plaka", "hot", "friends"});
+  ASSERT_OK(now.status());
+  std::vector<CandidatePath> best = resolver.ResolveBest(*now);
+  ASSERT_EQ(best.size(), 1u);
+  EXPECT_EQ(best[0].state.ToString(*env), "(Plaka, hot, all)");
+
+  // 5. Run the full contextual query over a relation.
+  StatusOr<workload::PoiDatabase> poi = workload::MakePoiDatabase(60, 1);
+  ASSERT_OK(poi.status());
+  // The README's own profile targets the Acropolis landmark; rebuild
+  // the same profile against the POI environment instance.
+  Profile poi_profile(poi->env);
+  StatusOr<CompositeDescriptor> cod3 = ParseCompositeDescriptor(
+      *poi->env, "location = Plaka and temperature in {warm, hot}");
+  ASSERT_OK(cod3.status());
+  StatusOr<ContextualPreference> pref3 = ContextualPreference::Create(
+      std::move(*cod3),
+      {"name", db::CompareOp::kEq, db::Value("Acropolis")}, 0.8);
+  ASSERT_OK(pref3.status());
+  ASSERT_OK(poi_profile.Insert(std::move(*pref3)));
+  StatusOr<ProfileTree> poi_tree = ProfileTree::Build(poi_profile);
+  ASSERT_OK(poi_tree.status());
+  TreeResolver poi_resolver(&*poi_tree);
+
+  ContextualQuery q;
+  StatusOr<CompositeDescriptor> qcod = ParseCompositeDescriptor(
+      *poi->env, "location = Plaka and temperature = hot");
+  ASSERT_OK(qcod.status());
+  q.context = ExtendedDescriptor::FromComposite(std::move(*qcod));
+  QueryOptions options;
+  options.top_k = 20;
+  StatusOr<QueryResult> result =
+      RankCS(poi->relation, q, poi_resolver, options);
+  ASSERT_OK(result.status());
+  ASSERT_EQ(result->tuples.size(), 1u);
+  const size_t name_col = *poi->relation.schema().IndexOf("name");
+  EXPECT_EQ(poi->relation.row(result->tuples[0].row_id)[name_col].AsString(),
+            "Acropolis");
+  EXPECT_DOUBLE_EQ(result->tuples[0].score, 0.8);
+}
+
+}  // namespace
+}  // namespace ctxpref

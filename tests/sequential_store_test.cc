@@ -1,0 +1,141 @@
+#include "preference/sequential_store.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ctxpref {
+namespace {
+
+using ::ctxpref::testing::PaperEnv;
+using ::ctxpref::testing::Pref;
+using ::ctxpref::testing::State;
+
+class SequentialStoreTest : public ::testing::Test {
+ protected:
+  Profile MakeProfile() {
+    Profile p(env_);
+    EXPECT_OK(p.Insert(Pref(*env_, "location = Plaka and temperature = warm",
+                            "name", "Acropolis", 0.8)));
+    EXPECT_OK(p.Insert(
+        Pref(*env_, "accompanying_people = friends", "type", "brewery", 0.9)));
+    EXPECT_OK(p.Insert(Pref(*env_, "location = Athens", "type", "museum", 0.7)));
+    return p;
+  }
+
+  EnvironmentPtr env_ = PaperEnv();
+};
+
+TEST_F(SequentialStoreTest, GroupsStatesAndCounts) {
+  Profile p = MakeProfile();
+  SequentialStore store = SequentialStore::Build(p);
+  EXPECT_EQ(store.num_groups(), 3u);
+  EXPECT_EQ(store.CellCount(), 3u * 3u);  // 3 states × 3 parameters.
+  EXPECT_EQ(store.LeafEntryCount(), 3u);
+  EXPECT_EQ(store.ByteSize(), 9 * ProfileTree::kSerialValueBytes +
+                                  3 * ProfileTree::kLeafEntryBytes);
+}
+
+TEST_F(SequentialStoreTest, SharedStateGroupsOnce) {
+  Profile p(env_);
+  ASSERT_OK(p.Insert(Pref(*env_, "location = Plaka", "name", "Acropolis", 0.8)));
+  ASSERT_OK(p.Insert(Pref(*env_, "location = Plaka", "type", "museum", 0.6)));
+  SequentialStore store = SequentialStore::Build(p);
+  EXPECT_EQ(store.num_groups(), 1u);
+  EXPECT_EQ(store.LeafEntryCount(), 2u);
+  EXPECT_EQ(store.group(0).entries.size(), 2u);
+}
+
+TEST_F(SequentialStoreTest, ExactSearchStopsEarly) {
+  Profile p = MakeProfile();
+  SequentialStore store = SequentialStore::Build(p);
+  // The first stored group is (Plaka, warm, all): matching it costs
+  // exactly 3 cell comparisons.
+  AccessCounter counter;
+  std::vector<CandidatePath> hits =
+      store.SearchExact(State(*env_, {"Plaka", "warm", "all"}), &counter);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_DOUBLE_EQ(hits[0].distance, 0.0);
+  EXPECT_EQ(counter.cells(), 3u);
+
+  // A miss scans all groups (with early exit per group).
+  counter.Reset();
+  EXPECT_TRUE(
+      store.SearchExact(State(*env_, {"Perama", "cold", "alone"}), &counter)
+          .empty());
+  EXPECT_GE(counter.cells(), 3u);          // At least one per group.
+  EXPECT_LE(counter.cells(), 3u * 3u);     // At most full compares.
+}
+
+TEST_F(SequentialStoreTest, CoveringSearchScansEverything) {
+  Profile p = MakeProfile();
+  SequentialStore store = SequentialStore::Build(p);
+  AccessCounter counter;
+  std::vector<CandidatePath> covering = store.SearchCovering(
+      State(*env_, {"Plaka", "warm", "friends"}), {}, &counter);
+  // All three stored states cover (Plaka, warm, friends).
+  EXPECT_EQ(covering.size(), 3u);
+  EXPECT_EQ(counter.cells(), 9u);  // Full scan, all components compared.
+}
+
+TEST_F(SequentialStoreTest, ResolveBestMatchesTreeSemantics) {
+  Profile p = MakeProfile();
+  SequentialStore store = SequentialStore::Build(p);
+  StatusOr<ProfileTree> tree = ProfileTree::Build(p);
+  ASSERT_OK(tree.status());
+  TreeResolver resolver(&*tree);
+
+  for (auto names : std::vector<std::vector<std::string>>{
+           {"Plaka", "warm", "friends"},
+           {"Kifisia", "hot", "family"},
+           {"Perama", "cold", "alone"},
+           {"Plaka", "warm", "all"}}) {
+    ContextState q = State(*env_, names);
+    for (DistanceKind kind :
+         {DistanceKind::kHierarchy, DistanceKind::kJaccard}) {
+      ResolutionOptions options;
+      options.distance = kind;
+      std::vector<CandidatePath> a = store.ResolveBest(q, options);
+      std::vector<CandidatePath> b = resolver.ResolveBest(q, options);
+      ASSERT_EQ(a.size(), b.size()) << q.ToString(*env_);
+      // Compare as sets of states (traversal orders differ).
+      for (const CandidatePath& c : a) {
+        bool found = false;
+        for (const CandidatePath& d : b) {
+          if (c.state == d.state) {
+            EXPECT_DOUBLE_EQ(c.distance, d.distance);
+            EXPECT_EQ(c.entries.size(), d.entries.size());
+            found = true;
+          }
+        }
+        EXPECT_TRUE(found) << c.state.ToString(*env_);
+      }
+    }
+  }
+}
+
+TEST_F(SequentialStoreTest, ExactOnlyOptionUsesExactScan) {
+  Profile p = MakeProfile();
+  SequentialStore store = SequentialStore::Build(p);
+  ResolutionOptions exact;
+  exact.exact_only = true;
+  EXPECT_TRUE(
+      store.ResolveBest(State(*env_, {"Plaka", "warm", "friends"}), exact)
+          .empty());
+  EXPECT_EQ(
+      store.ResolveBest(State(*env_, {"Plaka", "warm", "all"}), exact).size(),
+      1u);
+}
+
+TEST_F(SequentialStoreTest, AddDeduplicatesIdenticalEntries) {
+  SequentialStore store(env_);
+  ContextState s = State(*env_, {"Plaka", "all", "all"});
+  AttributeClause clause{"name", db::CompareOp::kEq, db::Value("Acropolis")};
+  store.Add(s, clause, 0.8);
+  store.Add(s, clause, 0.8);
+  EXPECT_EQ(store.num_groups(), 1u);
+  EXPECT_EQ(store.LeafEntryCount(), 1u);
+}
+
+}  // namespace
+}  // namespace ctxpref

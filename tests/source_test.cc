@@ -1,0 +1,110 @@
+#include "context/source.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ctxpref {
+namespace {
+
+using ::ctxpref::testing::PaperEnv;
+using ::ctxpref::testing::State;
+
+class SourceTest : public ::testing::Test {
+ protected:
+  EnvironmentPtr env_ = PaperEnv();
+
+  ValueRef Loc(const char* name) {
+    return *env_->parameter(0).hierarchy().FindAnyLevel(name);
+  }
+  ValueRef Temp(const char* name) {
+    return *env_->parameter(1).hierarchy().FindAnyLevel(name);
+  }
+};
+
+TEST_F(SourceTest, StaticSourceReportsItsValue) {
+  StaticSource src(0, Loc("Plaka"));
+  EXPECT_EQ(src.param_index(), 0u);
+  StatusOr<ValueRef> v = src.Read();
+  ASSERT_OK(v.status());
+  EXPECT_EQ(*v, Loc("Plaka"));
+  src.set_value(Loc("Athens"));
+  EXPECT_EQ(*src.Read(), Loc("Athens"));
+}
+
+TEST_F(SourceTest, SnapshotAssemblesState) {
+  CurrentContext ctx(env_);
+  ASSERT_OK(ctx.AddSource(std::make_unique<StaticSource>(0, Loc("Plaka"))));
+  ASSERT_OK(ctx.AddSource(std::make_unique<StaticSource>(1, Temp("warm"))));
+  // No source for companions: defaults to all.
+  StatusOr<ContextState> state = ctx.Snapshot();
+  ASSERT_OK(state.status());
+  EXPECT_EQ(*state, State(*env_, {"Plaka", "warm", "all"}));
+}
+
+TEST_F(SourceTest, NoSourcesYieldsAllState) {
+  CurrentContext ctx(env_);
+  StatusOr<ContextState> state = ctx.Snapshot();
+  ASSERT_OK(state.status());
+  EXPECT_EQ(*state, ContextState::AllState(*env_));
+}
+
+TEST_F(SourceTest, AddSourceValidates) {
+  CurrentContext ctx(env_);
+  EXPECT_TRUE(ctx.AddSource(nullptr).IsInvalidArgument());
+  EXPECT_TRUE(ctx.AddSource(std::make_unique<StaticSource>(9, Loc("Plaka")))
+                  .IsInvalidArgument());
+  ASSERT_OK(ctx.AddSource(std::make_unique<StaticSource>(0, Loc("Plaka"))));
+  EXPECT_TRUE(ctx.AddSource(std::make_unique<StaticSource>(0, Loc("Athens")))
+                  .IsAlreadyExists());
+}
+
+TEST_F(SourceTest, SnapshotRejectsOutOfDomainReading) {
+  CurrentContext ctx(env_);
+  ASSERT_OK(
+      ctx.AddSource(std::make_unique<StaticSource>(0, ValueRef{0, 9999})));
+  EXPECT_TRUE(ctx.Snapshot().status().IsInvalidArgument());
+}
+
+TEST_F(SourceTest, NoisySensorAlwaysCoversTruth) {
+  // Whatever level the sensor reports at, the reading must be the true
+  // value or one of its ancestors — never a different branch.
+  NoisySensorSource sensor(*env_, 0, Loc("Plaka"), /*coarseness=*/0.7,
+                           /*dropout=*/0.0, /*seed=*/42);
+  const Hierarchy& h = env_->parameter(0).hierarchy();
+  bool saw_coarse = false, saw_exact = false;
+  for (int i = 0; i < 300; ++i) {
+    StatusOr<ValueRef> v = sensor.Read();
+    ASSERT_OK(v.status());
+    EXPECT_TRUE(h.IsAncestorOrSelf(*v, Loc("Plaka")));
+    saw_coarse |= v->level > 0;
+    saw_exact |= v->level == 0;
+  }
+  EXPECT_TRUE(saw_coarse);
+  EXPECT_TRUE(saw_exact);
+}
+
+TEST_F(SourceTest, NoisySensorDropoutDegradesToAll) {
+  CurrentContext ctx(env_);
+  ASSERT_OK(ctx.AddSource(std::make_unique<NoisySensorSource>(
+      *env_, 0, Loc("Plaka"), /*coarseness=*/0.0, /*dropout=*/1.0,
+      /*seed=*/7)));
+  StatusOr<ContextState> state = ctx.Snapshot();
+  ASSERT_OK(state.status());
+  EXPECT_EQ(state->value(0), env_->parameter(0).hierarchy().AllValue());
+}
+
+TEST_F(SourceTest, SnapshotFeedsResolutionEndToEnd) {
+  // A coarse location reading still resolves: the paper's point about
+  // rough sensor values (§4.1).
+  CurrentContext ctx(env_);
+  ASSERT_OK(ctx.AddSource(std::make_unique<StaticSource>(0, Loc("Athens"))));
+  ASSERT_OK(ctx.AddSource(std::make_unique<StaticSource>(1, Temp("good"))));
+  StatusOr<ContextState> state = ctx.Snapshot();
+  ASSERT_OK(state.status());
+  EXPECT_FALSE(state->IsDetailed());
+  EXPECT_OK(state->Validate(*env_));
+}
+
+}  // namespace
+}  // namespace ctxpref

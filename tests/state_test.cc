@@ -1,0 +1,138 @@
+#include "context/state.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ctxpref {
+namespace {
+
+using ::ctxpref::testing::PaperEnv;
+using ::ctxpref::testing::State;
+
+class StateTest : public ::testing::Test {
+ protected:
+  EnvironmentPtr env_ = PaperEnv();
+};
+
+TEST_F(StateTest, EnvironmentBasics) {
+  EXPECT_EQ(env_->size(), 3u);
+  EXPECT_EQ(env_->parameter(0).name(), "location");
+  EXPECT_EQ(*env_->IndexOf("temperature"), 1u);
+  EXPECT_TRUE(env_->IndexOf("nope").status().IsNotFound());
+  // World: 15 regions × 5 conditions × 3 companions.
+  EXPECT_EQ(env_->WorldSize(), 15u * 5u * 3u);
+  // Extended world: (15+3+1+1) × (5+2+1) × (3+1).
+  EXPECT_EQ(env_->ExtendedWorldSize(), 20u * 8u * 4u);
+}
+
+TEST_F(StateTest, EnvironmentRejectsDuplicatesAndEmpty) {
+  StatusOr<HierarchyPtr> h = MakeFlatHierarchy("h", "L", {"x"});
+  std::vector<ContextParameter> dup;
+  dup.emplace_back("p", *h);
+  dup.emplace_back("p", *h);
+  EXPECT_TRUE(
+      ContextEnvironment::Create(std::move(dup)).status().IsInvalidArgument());
+  EXPECT_TRUE(ContextEnvironment::Create({}).status().IsInvalidArgument());
+}
+
+TEST_F(StateTest, FromNamesResolvesAnyLevel) {
+  ContextState s = State(*env_, {"Plaka", "warm", "friends"});
+  EXPECT_TRUE(s.IsDetailed());
+  EXPECT_EQ(s.ToString(*env_), "(Plaka, warm, friends)");
+
+  ContextState g = State(*env_, {"Greece", "good", "all"});
+  EXPECT_FALSE(g.IsDetailed());
+  EXPECT_EQ(g.ToString(*env_), "(Greece, good, all)");
+}
+
+TEST_F(StateTest, FromNamesErrors) {
+  EXPECT_TRUE(ContextState::FromNames(*env_, {"Plaka", "warm"})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ContextState::FromNames(*env_, {"Mars", "warm", "friends"})
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(StateTest, AllStateIsTop) {
+  ContextState all = ContextState::AllState(*env_);
+  EXPECT_EQ(all.ToString(*env_), "(all, all, all)");
+  ContextState s = State(*env_, {"Plaka", "warm", "friends"});
+  EXPECT_TRUE(all.Covers(*env_, s));
+  EXPECT_FALSE(s.Covers(*env_, all));
+}
+
+TEST_F(StateTest, CoversMatchesPaperSemantics) {
+  // (Greece, warm, friends) covers (Plaka, warm, friends).
+  ContextState greece = State(*env_, {"Greece", "warm", "friends"});
+  ContextState plaka = State(*env_, {"Plaka", "warm", "friends"});
+  EXPECT_TRUE(greece.Covers(*env_, plaka));
+  EXPECT_FALSE(plaka.Covers(*env_, greece));
+
+  // (Athens, good, all) covers (Plaka, warm, friends): each component
+  // is an ancestor.
+  ContextState athens_good = State(*env_, {"Athens", "good", "all"});
+  EXPECT_TRUE(athens_good.Covers(*env_, plaka));
+
+  // (Athens, good, all) does NOT cover (Perama, warm, friends):
+  // Perama is in Ioannina.
+  ContextState perama = State(*env_, {"Perama", "warm", "friends"});
+  EXPECT_FALSE(athens_good.Covers(*env_, perama));
+
+  // Incomparable pair from the paper's §4.2 example: (Greece, warm, ·)
+  // and (Athens, good, ·) — neither covers the other.
+  ContextState greece_warm = State(*env_, {"Greece", "warm", "all"});
+  ContextState athens_good2 = State(*env_, {"Athens", "good", "all"});
+  EXPECT_FALSE(greece_warm.Covers(*env_, athens_good2));
+  EXPECT_FALSE(athens_good2.Covers(*env_, greece_warm));
+}
+
+TEST_F(StateTest, CoversIsReflexive) {
+  for (auto names : std::vector<std::vector<std::string>>{
+           {"Plaka", "warm", "friends"},
+           {"Athens", "good", "all"},
+           {"all", "all", "all"}}) {
+    ContextState s = State(*env_, names);
+    EXPECT_TRUE(s.Covers(*env_, s)) << s.ToString(*env_);
+  }
+}
+
+TEST_F(StateTest, CoversSetSemantics) {
+  std::vector<ContextState> s1 = {State(*env_, {"Athens", "all", "all"}),
+                                  State(*env_, {"Ioannina", "all", "all"})};
+  std::vector<ContextState> s2 = {State(*env_, {"Plaka", "warm", "friends"}),
+                                  State(*env_, {"Perama", "cold", "alone"})};
+  EXPECT_TRUE(CoversSet(*env_, s1, s2));
+  // Remove the Ioannina cover: Perama is uncovered.
+  s1.pop_back();
+  EXPECT_FALSE(CoversSet(*env_, s1, s2));
+  // Empty covered set is trivially covered.
+  EXPECT_TRUE(CoversSet(*env_, s1, {}));
+  EXPECT_FALSE(CoversSet(*env_, {}, s2));
+}
+
+TEST_F(StateTest, ValidateChecksArityAndDomains) {
+  ContextState s = State(*env_, {"Plaka", "warm", "friends"});
+  EXPECT_OK(s.Validate(*env_));
+  ContextState bad(std::vector<ValueRef>{ValueRef{0, 999}, ValueRef{0, 0},
+                                         ValueRef{0, 0}});
+  EXPECT_TRUE(bad.Validate(*env_).IsInvalidArgument());
+  ContextState short_state(std::vector<ValueRef>{ValueRef{0, 0}});
+  EXPECT_TRUE(short_state.Validate(*env_).IsInvalidArgument());
+}
+
+TEST_F(StateTest, EqualityAndHash) {
+  ContextState a = State(*env_, {"Plaka", "warm", "friends"});
+  ContextState b = State(*env_, {"Plaka", "warm", "friends"});
+  ContextState c = State(*env_, {"Plaka", "hot", "friends"});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  ContextStateHash hash;
+  EXPECT_EQ(hash(a), hash(b));
+  // Not strictly required, but a sanity check against degenerate hashing.
+  EXPECT_NE(hash(a), hash(c));
+}
+
+}  // namespace
+}  // namespace ctxpref

@@ -1,0 +1,87 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace ctxpref {
+namespace {
+
+TEST(StringUtilTest, TrimStripsWhitespace) {
+  EXPECT_EQ(Trim("  abc  "), "abc");
+  EXPECT_EQ(Trim("\t x \n"), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("no_ws"), "no_ws");
+}
+
+TEST(StringUtilTest, SplitAndTrimBasics) {
+  std::vector<std::string> parts = SplitAndTrim("a, b ,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyPieces) {
+  std::vector<std::string> parts = SplitAndTrim("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(StringUtilTest, SplitEmptyInput) {
+  std::vector<std::string> parts = SplitAndTrim("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("AbC_9"), "abc_9");
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("pref: x", "pref:"));
+  EXPECT_FALSE(StartsWith("pre", "pref:"));
+  EXPECT_TRUE(EndsWith("file.txt", ".txt"));
+  EXPECT_FALSE(EndsWith("txt", "file.txt"));
+}
+
+TEST(StringUtilTest, ParseDoubleAcceptsValid) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("0.8", &v));
+  EXPECT_DOUBLE_EQ(v, 0.8);
+  EXPECT_TRUE(ParseDouble("  -2.5 ", &v));
+  EXPECT_DOUBLE_EQ(v, -2.5);
+  EXPECT_TRUE(ParseDouble("3", &v));
+  EXPECT_DOUBLE_EQ(v, 3.0);
+}
+
+TEST(StringUtilTest, ParseDoubleRejectsGarbage) {
+  double v = 0;
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+}
+
+TEST(StringUtilTest, ParseInt64) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("-42", &v));
+  EXPECT_EQ(v, -42);
+  EXPECT_FALSE(ParseInt64("4.2", &v));
+  EXPECT_FALSE(ParseInt64("", &v));
+}
+
+TEST(StringUtilTest, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(FormatDouble(0.9), "0.9");
+  EXPECT_EQ(FormatDouble(0.85), "0.85");
+  EXPECT_EQ(FormatDouble(1.0), "1");
+  EXPECT_EQ(FormatDouble(0.0), "0");
+  EXPECT_EQ(FormatDouble(2.5, 2), "2.5");
+}
+
+}  // namespace
+}  // namespace ctxpref

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "preference/profile_tree.h"
+#include "preference/resolution.h"
+#include "preference/sequential_store.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+#include "workload/profile_generator.h"
+#include "workload/query_generator.h"
+
+namespace ctxpref {
+namespace {
+
+using ::ctxpref::testing::PaperEnv;
+using ::ctxpref::testing::Pref;
+using ::ctxpref::testing::State;
+
+class TreeRemovalTest : public ::testing::Test {
+ protected:
+  EnvironmentPtr env_ = PaperEnv();
+};
+
+TEST_F(TreeRemovalTest, RemoveStateErasesEntryAndPrunes) {
+  Profile p(env_);
+  ASSERT_OK(p.Insert(Pref(*env_, "location = Plaka", "name", "Acropolis", 0.8)));
+  ASSERT_OK(p.Insert(Pref(*env_, "location = Athens", "type", "museum", 0.7)));
+  StatusOr<ProfileTree> tree = ProfileTree::Build(p);
+  ASSERT_OK(tree.status());
+  const size_t cells_before = tree->CellCount();
+
+  AttributeClause clause{"name", db::CompareOp::kEq, db::Value("Acropolis")};
+  ASSERT_OK(tree->RemoveState(State(*env_, {"Plaka", "all", "all"}), clause,
+                              0.8));
+  EXPECT_EQ(tree->PathCount(), 1u);
+  EXPECT_EQ(tree->LeafEntryCount(), 1u);
+  EXPECT_LT(tree->CellCount(), cells_before);
+  EXPECT_EQ(tree->ExactLookup(State(*env_, {"Plaka", "all", "all"})), nullptr);
+  // The other preference is untouched.
+  EXPECT_NE(tree->ExactLookup(State(*env_, {"Athens", "all", "all"})),
+            nullptr);
+}
+
+TEST_F(TreeRemovalTest, RemoveMissingEntryIsNotFound) {
+  Profile p(env_);
+  ASSERT_OK(p.Insert(Pref(*env_, "location = Plaka", "name", "Acropolis", 0.8)));
+  StatusOr<ProfileTree> tree = ProfileTree::Build(p);
+  ASSERT_OK(tree.status());
+  AttributeClause clause{"name", db::CompareOp::kEq, db::Value("Acropolis")};
+  // Wrong state.
+  EXPECT_TRUE(tree->RemoveState(State(*env_, {"Kifisia", "all", "all"}),
+                                clause, 0.8)
+                  .IsNotFound());
+  // Wrong score.
+  EXPECT_TRUE(tree->RemoveState(State(*env_, {"Plaka", "all", "all"}), clause,
+                                0.5)
+                  .IsNotFound());
+  EXPECT_EQ(tree->LeafEntryCount(), 1u);
+}
+
+TEST_F(TreeRemovalTest, SharedPathOnlyPrunedWhenEmpty) {
+  Profile p(env_);
+  ASSERT_OK(p.Insert(Pref(*env_, "location = Plaka", "name", "Acropolis", 0.8)));
+  ASSERT_OK(p.Insert(Pref(*env_, "location = Plaka", "type", "museum", 0.6)));
+  StatusOr<ProfileTree> tree = ProfileTree::Build(p);
+  ASSERT_OK(tree.status());
+  ASSERT_OK(tree->Remove(p.preference(0)));
+  // Path survives: the museum entry is still there.
+  EXPECT_EQ(tree->PathCount(), 1u);
+  const auto* entries = tree->ExactLookup(State(*env_, {"Plaka", "all", "all"}));
+  ASSERT_NE(entries, nullptr);
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0].clause.attribute, "type");
+  ASSERT_OK(tree->Remove(p.preference(1)));
+  EXPECT_EQ(tree->PathCount(), 0u);
+  EXPECT_EQ(tree->CellCount(), 0u);
+}
+
+TEST_F(TreeRemovalTest, SharedEntryIsRefCounted) {
+  // Two distinct preferences contribute the identical (state, clause,
+  // score) entry: removing one must not break the other.
+  Profile p(env_);
+  ASSERT_OK(p.Insert(
+      Pref(*env_, "temperature in {warm, hot}", "type", "park", 0.9)));
+  ASSERT_OK(p.Insert(Pref(*env_, "temperature = warm and location in "
+                          "{Plaka, Kifisia}", "type", "park", 0.9)));
+  StatusOr<ProfileTree> tree = ProfileTree::Build(p);
+  ASSERT_OK(tree.status());
+
+  // Insert a third preference sharing the state (all, warm, all).
+  ContextualPreference shared =
+      Pref(*env_, "temperature = warm", "type", "park", 0.9);
+  ASSERT_OK(tree->Insert(shared));
+  const auto* entries =
+      tree->ExactLookup(State(*env_, {"all", "warm", "all"}));
+  ASSERT_NE(entries, nullptr);
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0].ref, 2u);  // First pref + `shared`.
+
+  ASSERT_OK(tree->Remove(shared));
+  entries = tree->ExactLookup(State(*env_, {"all", "warm", "all"}));
+  ASSERT_NE(entries, nullptr);  // Still present for the first pref.
+  EXPECT_EQ((*entries)[0].ref, 1u);
+}
+
+TEST_F(TreeRemovalTest, InsertRemoveRoundTripRestoresCounts) {
+  StatusOr<workload::SyntheticProfile> gen = workload::MakeRealLikeProfile(11);
+  ASSERT_OK(gen.status());
+  StatusOr<ProfileTree> tree = ProfileTree::Build(gen->profile);
+  ASSERT_OK(tree.status());
+  const size_t cells = tree->CellCount();
+  const size_t paths = tree->PathCount();
+  const size_t entries = tree->LeafEntryCount();
+  const size_t nodes = tree->NodeCount();
+
+  ContextualPreference extra = testing::Pref(
+      *gen->env, "*", "brand_new_attr", "value", 0.55);
+  ASSERT_OK(tree->Insert(extra));
+  ASSERT_OK(tree->Remove(extra));
+  EXPECT_EQ(tree->CellCount(), cells);
+  EXPECT_EQ(tree->PathCount(), paths);
+  EXPECT_EQ(tree->LeafEntryCount(), entries);
+  EXPECT_EQ(tree->NodeCount(), nodes);
+}
+
+TEST_F(TreeRemovalTest, IncrementalTrackingMatchesRebuild) {
+  // Apply a random insert/remove workload to a tree and a profile in
+  // lockstep; the incrementally maintained tree must answer exactly
+  // like a fresh rebuild.
+  workload::SyntheticProfileSpec spec;
+  spec.params = {{"p0", 10, 2, 3, 0.0}, {"p1", 15, 2, 4, 0.5},
+                 {"p2", 5, 2, 2, 0.0}};
+  spec.num_preferences = 80;
+  spec.seed = 61;
+  StatusOr<workload::SyntheticProfile> gen = GenerateSyntheticProfile(spec);
+  ASSERT_OK(gen.status());
+  Profile& profile = gen->profile;
+  StatusOr<ProfileTree> tree = ProfileTree::Build(profile);
+  ASSERT_OK(tree.status());
+
+  Rng rng(77);
+  for (int step = 0; step < 60; ++step) {
+    if (rng.Bernoulli(0.5) && profile.size() > 10) {
+      const size_t i = rng.Uniform(profile.size());
+      ContextualPreference victim = profile.preference(i);
+      ASSERT_OK(profile.Remove(i));
+      ASSERT_OK(tree->Remove(victim));
+    } else {
+      // Fresh preference from a disjoint clause pool (no conflicts).
+      std::vector<ParameterDescriptor> parts;
+      const Hierarchy& h = gen->env->parameter(0).hierarchy();
+      StatusOr<ParameterDescriptor> pd = ParameterDescriptor::Equals(
+          *gen->env, 0,
+          ValueRef{0, static_cast<ValueId>(rng.Uniform(h.level_size(0)))});
+      ASSERT_OK(pd.status());
+      parts.push_back(std::move(*pd));
+      StatusOr<CompositeDescriptor> cod =
+          CompositeDescriptor::Create(*gen->env, std::move(parts));
+      ASSERT_OK(cod.status());
+      StatusOr<ContextualPreference> pref = ContextualPreference::Create(
+          std::move(*cod),
+          AttributeClause{"extra", db::CompareOp::kEq,
+                          db::Value("w" + std::to_string(step))},
+          0.5);
+      ASSERT_OK(pref.status());
+      Status st = profile.Insert(*pref);
+      if (st.ok()) {
+        ASSERT_OK(tree->Insert(*pref));
+      }
+    }
+  }
+
+  StatusOr<ProfileTree> rebuilt = ProfileTree::Build(profile);
+  ASSERT_OK(rebuilt.status());
+  EXPECT_EQ(tree->PathCount(), rebuilt->PathCount());
+  EXPECT_EQ(tree->LeafEntryCount(), rebuilt->LeafEntryCount());
+  EXPECT_EQ(tree->CellCount(), rebuilt->CellCount());
+
+  // Resolution equivalence on random queries.
+  TreeResolver incremental(&*tree);
+  TreeResolver fresh(&*rebuilt);
+  for (int q = 0; q < 40; ++q) {
+    ContextState query = workload::RandomQuery(*gen->env, rng, 0.3);
+    std::vector<CandidatePath> a = incremental.SearchCS(query);
+    std::vector<CandidatePath> b = fresh.SearchCS(query);
+    ASSERT_EQ(a.size(), b.size()) << query.ToString(*gen->env);
+  }
+}
+
+}  // namespace
+}  // namespace ctxpref

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "preference/ordering.h"
+#include "preference/profile_tree.h"
+#include "preference/sequential_store.h"
+#include "tests/test_util.h"
+#include "workload/default_profiles.h"
+#include "workload/poi_dataset.h"
+#include "workload/profile_generator.h"
+#include "workload/query_generator.h"
+#include "workload/synthetic_hierarchy.h"
+#include "workload/user_sim.h"
+
+namespace ctxpref::workload {
+namespace {
+
+TEST(SyntheticHierarchyTest, BuildsExpectedLevelSizes) {
+  StatusOr<HierarchyPtr> h = MakeSyntheticHierarchy("loc", 100, 3, 5);
+  ASSERT_OK(h.status());
+  EXPECT_EQ((*h)->num_levels(), 4);  // 3 declared + ALL.
+  EXPECT_EQ((*h)->level_size(0), 100u);
+  EXPECT_EQ((*h)->level_size(1), 20u);
+  EXPECT_EQ((*h)->level_size(2), 4u);
+  EXPECT_EQ((*h)->level_size(3), 1u);
+}
+
+TEST(SyntheticHierarchyTest, AncDescConsistency) {
+  StatusOr<HierarchyPtr> h = MakeSyntheticHierarchy("x", 50, 2, 8);
+  ASSERT_OK(h.status());
+  for (ValueId id = 0; id < 50; ++id) {
+    ValueRef v{0, id};
+    ValueRef parent = (*h)->Anc(v, 1);
+    // Contiguous grouping: parent index is id / fan.
+    EXPECT_EQ(parent.id, id / 8);
+    std::vector<ValueRef> kids = (*h)->Desc(parent, 0);
+    EXPECT_TRUE(std::find(kids.begin(), kids.end(), v) != kids.end());
+  }
+}
+
+TEST(SyntheticHierarchyTest, RejectsDegenerateShapes) {
+  EXPECT_TRUE(
+      MakeSyntheticHierarchy("x", 10, 0, 2).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      MakeSyntheticHierarchy("x", 0, 1, 2).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      MakeSyntheticHierarchy("x", 10, 3, 1).status().IsInvalidArgument());
+  // 4 values with fan 8 collapse to 1 at level 1; a further level
+  // cannot exist.
+  EXPECT_TRUE(
+      MakeSyntheticHierarchy("x", 4, 3, 8).status().IsInvalidArgument());
+}
+
+TEST(ProfileGeneratorTest, HitsRequestedSize) {
+  SyntheticProfileSpec spec;
+  spec.params = {{"a", 50, 2, 8, 0.0}, {"b", 100, 3, 5, 0.0},
+                 {"c", 20, 2, 4, 0.0}};
+  spec.num_preferences = 500;
+  spec.seed = 4;
+  StatusOr<SyntheticProfile> gen = GenerateSyntheticProfile(spec);
+  ASSERT_OK(gen.status());
+  EXPECT_EQ(gen->profile.size(), 500u);
+  EXPECT_EQ(gen->env->size(), 3u);
+}
+
+TEST(ProfileGeneratorTest, ZipfShrinksActiveDomains) {
+  SyntheticProfileSpec uniform;
+  uniform.params = {{"a", 200, 2, 8, 0.0}};
+  uniform.num_preferences = 300;
+  uniform.omit_probability = 0.0;
+  uniform.lift_probability = 0.0;
+  uniform.seed = 5;
+  SyntheticProfileSpec zipf = uniform;
+  zipf.params[0].zipf_a = 2.0;
+  StatusOr<SyntheticProfile> u = GenerateSyntheticProfile(uniform);
+  StatusOr<SyntheticProfile> z = GenerateSyntheticProfile(zipf);
+  ASSERT_OK(u.status());
+  ASSERT_OK(z.status());
+  EXPECT_GT(ActiveDomainSizes(u->profile)[0],
+            ActiveDomainSizes(z->profile)[0]);
+}
+
+TEST(ProfileGeneratorTest, RealLikeProfileMatchesPaperShape) {
+  StatusOr<SyntheticProfile> gen = MakeRealLikeProfile(7);
+  ASSERT_OK(gen.status());
+  EXPECT_EQ(gen->profile.size(), 522u);  // Paper §5.2.
+  ASSERT_EQ(gen->env->size(), 3u);
+  EXPECT_EQ(gen->env->parameter(0).hierarchy().level_size(0), 4u);
+  EXPECT_EQ(gen->env->parameter(1).hierarchy().level_size(0), 17u);
+  EXPECT_EQ(gen->env->parameter(2).hierarchy().level_size(0), 100u);
+}
+
+TEST(QueryGeneratorTest, ExactQueriesAlwaysHaveExactMatches) {
+  StatusOr<SyntheticProfile> gen = MakeRealLikeProfile(8);
+  ASSERT_OK(gen.status());
+  SequentialStore store = SequentialStore::Build(gen->profile);
+  for (const ContextState& q : ExactQueryBatch(gen->profile, 50, 99)) {
+    EXPECT_FALSE(store.SearchExact(q).empty()) << q.ToString(*gen->env);
+  }
+}
+
+TEST(QueryGeneratorTest, RandomQueriesAreValidStates) {
+  EnvironmentPtr env = testing::PaperEnv();
+  for (const ContextState& q : RandomQueryBatch(*env, 100, 42, 0.5)) {
+    EXPECT_OK(q.Validate(*env));
+  }
+}
+
+TEST(QueryGeneratorTest, BatchesAreDeterministic) {
+  EnvironmentPtr env = testing::PaperEnv();
+  EXPECT_EQ(RandomQueryBatch(*env, 20, 7), RandomQueryBatch(*env, 20, 7));
+}
+
+TEST(PoiDatasetTest, EnvironmentMatchesFig2) {
+  EnvironmentPtr env = testing::PaperEnv();
+  const Hierarchy& loc = env->parameter(0).hierarchy();
+  EXPECT_EQ(loc.num_levels(), 4);
+  EXPECT_EQ(loc.level_name(0), "Region");
+  EXPECT_EQ(loc.level_name(2), "Country");
+  const Hierarchy& temp = env->parameter(1).hierarchy();
+  EXPECT_EQ(temp.num_levels(), 3);
+  // good groups {mild, warm, hot}.
+  EXPECT_EQ(temp.DetailedDescendantCount(*temp.Find(1, "good")), 3u);
+  EXPECT_EQ(temp.DetailedDescendantCount(*temp.Find(1, "bad")), 2u);
+  const Hierarchy& comp = env->parameter(2).hierarchy();
+  EXPECT_EQ(comp.num_levels(), 2);
+}
+
+TEST(PoiDatasetTest, DatabaseHasRequestedSizeAndLandmarks) {
+  StatusOr<PoiDatabase> poi = MakePoiDatabase(80, 1);
+  ASSERT_OK(poi.status());
+  EXPECT_EQ(poi->relation.size(), 80u);
+  StatusOr<db::Predicate> pred =
+      db::Predicate::Create(poi->relation.schema(), "name", db::CompareOp::kEq,
+                            db::Value("Acropolis"));
+  ASSERT_OK(pred.status());
+  EXPECT_EQ(poi->relation.Select(*pred).size(), 1u);
+}
+
+TEST(PoiDatasetTest, LocationsComeFromTheHierarchy) {
+  StatusOr<PoiDatabase> poi = MakePoiDatabase(60, 2);
+  ASSERT_OK(poi.status());
+  const Hierarchy& loc = poi->env->parameter(0).hierarchy();
+  const size_t col = *poi->relation.schema().IndexOf("location");
+  for (db::RowId r = 0; r < poi->relation.size(); ++r) {
+    EXPECT_OK(loc.Find(0, poi->relation.row(r)[col].AsString()).status());
+  }
+}
+
+TEST(DefaultProfilesTest, AllTwelveBuildAndDiffer) {
+  EnvironmentPtr env = testing::PaperEnv();
+  StatusOr<std::vector<Profile>> profiles = AllDefaultProfiles(env);
+  ASSERT_OK(profiles.status());
+  ASSERT_EQ(profiles->size(), 12u);
+  std::set<std::string> texts;
+  for (const Profile& p : *profiles) {
+    EXPECT_GE(p.size(), 10u);
+    texts.insert(p.ToText());
+  }
+  EXPECT_EQ(texts.size(), 12u);  // All distinct.
+}
+
+TEST(DefaultProfilesTest, DefaultProfilesIndexCleanly) {
+  EnvironmentPtr env = testing::PaperEnv();
+  StatusOr<std::vector<Profile>> profiles = AllDefaultProfiles(env);
+  ASSERT_OK(profiles.status());
+  for (const Profile& p : *profiles) {
+    EXPECT_OK(ProfileTree::Build(p).status());
+  }
+}
+
+TEST(UserStudyTest, SmokeRunProducesSaneRows) {
+  UserStudyConfig config;
+  config.num_users = 3;
+  config.num_pois = 60;
+  config.queries_per_class = 5;
+  config.seed = 77;
+  StatusOr<std::vector<UserStudyRow>> rows = RunUserStudy(config);
+  ASSERT_OK(rows.status());
+  ASSERT_EQ(rows->size(), 3u);
+  for (const UserStudyRow& r : *rows) {
+    EXPECT_GT(r.num_updates, 0);
+    EXPECT_GT(r.update_minutes, 5.0);
+    EXPECT_LT(r.update_minutes, 60.0);
+    for (double pct : {r.exact_pct, r.one_cover_pct,
+                       r.multi_cover_hierarchy_pct,
+                       r.multi_cover_jaccard_pct}) {
+      // Negative = class had no measurable queries for this profile.
+      EXPECT_GE(pct, -1.0);
+      EXPECT_LE(pct, 100.0);
+    }
+    // The exact class always has samples (drawn from stored states).
+    EXPECT_GE(r.exact_pct, 0.0);
+  }
+}
+
+TEST(UserStudyTest, Deterministic) {
+  UserStudyConfig config;
+  config.num_users = 2;
+  config.num_pois = 40;
+  config.queries_per_class = 3;
+  config.seed = 11;
+  StatusOr<std::vector<UserStudyRow>> a = RunUserStudy(config);
+  StatusOr<std::vector<UserStudyRow>> b = RunUserStudy(config);
+  ASSERT_OK(a.status());
+  ASSERT_OK(b.status());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].num_updates, (*b)[i].num_updates);
+    EXPECT_DOUBLE_EQ((*a)[i].exact_pct, (*b)[i].exact_pct);
+  }
+}
+
+TEST(GroundTruthTest, ScoresAreInRangeAndContextSensitive) {
+  EnvironmentPtr env = testing::PaperEnv();
+  StatusOr<PoiDatabase> poi = MakePoiDatabase(50, 3);
+  ASSERT_OK(poi.status());
+  GroundTruth gt(*env, 42);
+  ContextState warm = testing::State(*env, {"Plaka", "hot", "friends"});
+  ContextState cold = testing::State(*env, {"Plaka", "freezing", "friends"});
+  bool any_difference = false;
+  for (db::RowId r = 0; r < poi->relation.size(); ++r) {
+    const double sw = gt.Score(*env, poi->relation, r, warm);
+    const double sc = gt.Score(*env, poi->relation, r, cold);
+    EXPECT_GE(sw, 0.0);
+    EXPECT_LE(sw, 1.0);
+    any_difference |= (sw != sc);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(GroundTruthTest, OpenAirPrefersWarmth) {
+  EnvironmentPtr env = testing::PaperEnv();
+  GroundTruth gt(*env, 7);
+  // Affinity for open-air must rise from freezing (0) to hot (4).
+  EXPECT_GT(gt.OpenAirAffinity(true, 4), gt.OpenAirAffinity(true, 0));
+  EXPECT_GT(gt.OpenAirAffinity(false, 0), gt.OpenAirAffinity(false, 4));
+}
+
+}  // namespace
+}  // namespace ctxpref::workload

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/context_stream.dir/context_stream.cpp.o"
+  "CMakeFiles/context_stream.dir/context_stream.cpp.o.d"
+  "context_stream"
+  "context_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/context_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctxpref_cli.dir/ctxpref_cli.cpp.o"
+  "CMakeFiles/ctxpref_cli.dir/ctxpref_cli.cpp.o.d"
+  "ctxpref_cli"
+  "ctxpref_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctxpref_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exploratory.dir/exploratory.cpp.o"
+  "CMakeFiles/exploratory.dir/exploratory.cpp.o.d"
+  "exploratory"
+  "exploratory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exploratory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_admin.dir/profile_admin.cpp.o"
+  "CMakeFiles/profile_admin.dir/profile_admin.cpp.o.d"
+  "profile_admin"
+  "profile_admin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_admin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tour_guide.dir/tour_guide.cpp.o"
+  "CMakeFiles/tour_guide.dir/tour_guide.cpp.o.d"
+  "tour_guide"
+  "tour_guide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tour_guide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

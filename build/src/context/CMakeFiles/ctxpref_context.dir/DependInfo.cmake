@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/context/descriptor.cc" "src/context/CMakeFiles/ctxpref_context.dir/descriptor.cc.o" "gcc" "src/context/CMakeFiles/ctxpref_context.dir/descriptor.cc.o.d"
+  "/root/repo/src/context/distance.cc" "src/context/CMakeFiles/ctxpref_context.dir/distance.cc.o" "gcc" "src/context/CMakeFiles/ctxpref_context.dir/distance.cc.o.d"
+  "/root/repo/src/context/environment.cc" "src/context/CMakeFiles/ctxpref_context.dir/environment.cc.o" "gcc" "src/context/CMakeFiles/ctxpref_context.dir/environment.cc.o.d"
+  "/root/repo/src/context/hierarchy.cc" "src/context/CMakeFiles/ctxpref_context.dir/hierarchy.cc.o" "gcc" "src/context/CMakeFiles/ctxpref_context.dir/hierarchy.cc.o.d"
+  "/root/repo/src/context/parser.cc" "src/context/CMakeFiles/ctxpref_context.dir/parser.cc.o" "gcc" "src/context/CMakeFiles/ctxpref_context.dir/parser.cc.o.d"
+  "/root/repo/src/context/source.cc" "src/context/CMakeFiles/ctxpref_context.dir/source.cc.o" "gcc" "src/context/CMakeFiles/ctxpref_context.dir/source.cc.o.d"
+  "/root/repo/src/context/state.cc" "src/context/CMakeFiles/ctxpref_context.dir/state.cc.o" "gcc" "src/context/CMakeFiles/ctxpref_context.dir/state.cc.o.d"
+  "/root/repo/src/context/validate.cc" "src/context/CMakeFiles/ctxpref_context.dir/validate.cc.o" "gcc" "src/context/CMakeFiles/ctxpref_context.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ctxpref_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctxpref_context.dir/descriptor.cc.o"
+  "CMakeFiles/ctxpref_context.dir/descriptor.cc.o.d"
+  "CMakeFiles/ctxpref_context.dir/distance.cc.o"
+  "CMakeFiles/ctxpref_context.dir/distance.cc.o.d"
+  "CMakeFiles/ctxpref_context.dir/environment.cc.o"
+  "CMakeFiles/ctxpref_context.dir/environment.cc.o.d"
+  "CMakeFiles/ctxpref_context.dir/hierarchy.cc.o"
+  "CMakeFiles/ctxpref_context.dir/hierarchy.cc.o.d"
+  "CMakeFiles/ctxpref_context.dir/parser.cc.o"
+  "CMakeFiles/ctxpref_context.dir/parser.cc.o.d"
+  "CMakeFiles/ctxpref_context.dir/source.cc.o"
+  "CMakeFiles/ctxpref_context.dir/source.cc.o.d"
+  "CMakeFiles/ctxpref_context.dir/state.cc.o"
+  "CMakeFiles/ctxpref_context.dir/state.cc.o.d"
+  "CMakeFiles/ctxpref_context.dir/validate.cc.o"
+  "CMakeFiles/ctxpref_context.dir/validate.cc.o.d"
+  "libctxpref_context.a"
+  "libctxpref_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctxpref_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/csv.cc" "src/db/CMakeFiles/ctxpref_db.dir/csv.cc.o" "gcc" "src/db/CMakeFiles/ctxpref_db.dir/csv.cc.o.d"
+  "/root/repo/src/db/index.cc" "src/db/CMakeFiles/ctxpref_db.dir/index.cc.o" "gcc" "src/db/CMakeFiles/ctxpref_db.dir/index.cc.o.d"
+  "/root/repo/src/db/predicate.cc" "src/db/CMakeFiles/ctxpref_db.dir/predicate.cc.o" "gcc" "src/db/CMakeFiles/ctxpref_db.dir/predicate.cc.o.d"
+  "/root/repo/src/db/ranker.cc" "src/db/CMakeFiles/ctxpref_db.dir/ranker.cc.o" "gcc" "src/db/CMakeFiles/ctxpref_db.dir/ranker.cc.o.d"
+  "/root/repo/src/db/relation.cc" "src/db/CMakeFiles/ctxpref_db.dir/relation.cc.o" "gcc" "src/db/CMakeFiles/ctxpref_db.dir/relation.cc.o.d"
+  "/root/repo/src/db/schema.cc" "src/db/CMakeFiles/ctxpref_db.dir/schema.cc.o" "gcc" "src/db/CMakeFiles/ctxpref_db.dir/schema.cc.o.d"
+  "/root/repo/src/db/tuple.cc" "src/db/CMakeFiles/ctxpref_db.dir/tuple.cc.o" "gcc" "src/db/CMakeFiles/ctxpref_db.dir/tuple.cc.o.d"
+  "/root/repo/src/db/value.cc" "src/db/CMakeFiles/ctxpref_db.dir/value.cc.o" "gcc" "src/db/CMakeFiles/ctxpref_db.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ctxpref_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctxpref_db.dir/csv.cc.o"
+  "CMakeFiles/ctxpref_db.dir/csv.cc.o.d"
+  "CMakeFiles/ctxpref_db.dir/index.cc.o"
+  "CMakeFiles/ctxpref_db.dir/index.cc.o.d"
+  "CMakeFiles/ctxpref_db.dir/predicate.cc.o"
+  "CMakeFiles/ctxpref_db.dir/predicate.cc.o.d"
+  "CMakeFiles/ctxpref_db.dir/ranker.cc.o"
+  "CMakeFiles/ctxpref_db.dir/ranker.cc.o.d"
+  "CMakeFiles/ctxpref_db.dir/relation.cc.o"
+  "CMakeFiles/ctxpref_db.dir/relation.cc.o.d"
+  "CMakeFiles/ctxpref_db.dir/schema.cc.o"
+  "CMakeFiles/ctxpref_db.dir/schema.cc.o.d"
+  "CMakeFiles/ctxpref_db.dir/tuple.cc.o"
+  "CMakeFiles/ctxpref_db.dir/tuple.cc.o.d"
+  "CMakeFiles/ctxpref_db.dir/value.cc.o"
+  "CMakeFiles/ctxpref_db.dir/value.cc.o.d"
+  "libctxpref_db.a"
+  "libctxpref_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctxpref_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

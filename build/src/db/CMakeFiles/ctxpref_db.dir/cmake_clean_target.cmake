@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libctxpref_db.a"
+)

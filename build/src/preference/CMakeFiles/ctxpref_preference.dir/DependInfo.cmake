@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/preference/contextual_query.cc" "src/preference/CMakeFiles/ctxpref_preference.dir/contextual_query.cc.o" "gcc" "src/preference/CMakeFiles/ctxpref_preference.dir/contextual_query.cc.o.d"
+  "/root/repo/src/preference/continuous.cc" "src/preference/CMakeFiles/ctxpref_preference.dir/continuous.cc.o" "gcc" "src/preference/CMakeFiles/ctxpref_preference.dir/continuous.cc.o.d"
+  "/root/repo/src/preference/explain.cc" "src/preference/CMakeFiles/ctxpref_preference.dir/explain.cc.o" "gcc" "src/preference/CMakeFiles/ctxpref_preference.dir/explain.cc.o.d"
+  "/root/repo/src/preference/feedback.cc" "src/preference/CMakeFiles/ctxpref_preference.dir/feedback.cc.o" "gcc" "src/preference/CMakeFiles/ctxpref_preference.dir/feedback.cc.o.d"
+  "/root/repo/src/preference/ordering.cc" "src/preference/CMakeFiles/ctxpref_preference.dir/ordering.cc.o" "gcc" "src/preference/CMakeFiles/ctxpref_preference.dir/ordering.cc.o.d"
+  "/root/repo/src/preference/preference.cc" "src/preference/CMakeFiles/ctxpref_preference.dir/preference.cc.o" "gcc" "src/preference/CMakeFiles/ctxpref_preference.dir/preference.cc.o.d"
+  "/root/repo/src/preference/profile.cc" "src/preference/CMakeFiles/ctxpref_preference.dir/profile.cc.o" "gcc" "src/preference/CMakeFiles/ctxpref_preference.dir/profile.cc.o.d"
+  "/root/repo/src/preference/profile_stats.cc" "src/preference/CMakeFiles/ctxpref_preference.dir/profile_stats.cc.o" "gcc" "src/preference/CMakeFiles/ctxpref_preference.dir/profile_stats.cc.o.d"
+  "/root/repo/src/preference/profile_tree.cc" "src/preference/CMakeFiles/ctxpref_preference.dir/profile_tree.cc.o" "gcc" "src/preference/CMakeFiles/ctxpref_preference.dir/profile_tree.cc.o.d"
+  "/root/repo/src/preference/qualitative.cc" "src/preference/CMakeFiles/ctxpref_preference.dir/qualitative.cc.o" "gcc" "src/preference/CMakeFiles/ctxpref_preference.dir/qualitative.cc.o.d"
+  "/root/repo/src/preference/query_cache.cc" "src/preference/CMakeFiles/ctxpref_preference.dir/query_cache.cc.o" "gcc" "src/preference/CMakeFiles/ctxpref_preference.dir/query_cache.cc.o.d"
+  "/root/repo/src/preference/resolution.cc" "src/preference/CMakeFiles/ctxpref_preference.dir/resolution.cc.o" "gcc" "src/preference/CMakeFiles/ctxpref_preference.dir/resolution.cc.o.d"
+  "/root/repo/src/preference/sequential_store.cc" "src/preference/CMakeFiles/ctxpref_preference.dir/sequential_store.cc.o" "gcc" "src/preference/CMakeFiles/ctxpref_preference.dir/sequential_store.cc.o.d"
+  "/root/repo/src/preference/tree_dot.cc" "src/preference/CMakeFiles/ctxpref_preference.dir/tree_dot.cc.o" "gcc" "src/preference/CMakeFiles/ctxpref_preference.dir/tree_dot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/context/CMakeFiles/ctxpref_context.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/ctxpref_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ctxpref_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctxpref_preference.dir/contextual_query.cc.o"
+  "CMakeFiles/ctxpref_preference.dir/contextual_query.cc.o.d"
+  "CMakeFiles/ctxpref_preference.dir/continuous.cc.o"
+  "CMakeFiles/ctxpref_preference.dir/continuous.cc.o.d"
+  "CMakeFiles/ctxpref_preference.dir/explain.cc.o"
+  "CMakeFiles/ctxpref_preference.dir/explain.cc.o.d"
+  "CMakeFiles/ctxpref_preference.dir/feedback.cc.o"
+  "CMakeFiles/ctxpref_preference.dir/feedback.cc.o.d"
+  "CMakeFiles/ctxpref_preference.dir/ordering.cc.o"
+  "CMakeFiles/ctxpref_preference.dir/ordering.cc.o.d"
+  "CMakeFiles/ctxpref_preference.dir/preference.cc.o"
+  "CMakeFiles/ctxpref_preference.dir/preference.cc.o.d"
+  "CMakeFiles/ctxpref_preference.dir/profile.cc.o"
+  "CMakeFiles/ctxpref_preference.dir/profile.cc.o.d"
+  "CMakeFiles/ctxpref_preference.dir/profile_stats.cc.o"
+  "CMakeFiles/ctxpref_preference.dir/profile_stats.cc.o.d"
+  "CMakeFiles/ctxpref_preference.dir/profile_tree.cc.o"
+  "CMakeFiles/ctxpref_preference.dir/profile_tree.cc.o.d"
+  "CMakeFiles/ctxpref_preference.dir/qualitative.cc.o"
+  "CMakeFiles/ctxpref_preference.dir/qualitative.cc.o.d"
+  "CMakeFiles/ctxpref_preference.dir/query_cache.cc.o"
+  "CMakeFiles/ctxpref_preference.dir/query_cache.cc.o.d"
+  "CMakeFiles/ctxpref_preference.dir/resolution.cc.o"
+  "CMakeFiles/ctxpref_preference.dir/resolution.cc.o.d"
+  "CMakeFiles/ctxpref_preference.dir/sequential_store.cc.o"
+  "CMakeFiles/ctxpref_preference.dir/sequential_store.cc.o.d"
+  "CMakeFiles/ctxpref_preference.dir/tree_dot.cc.o"
+  "CMakeFiles/ctxpref_preference.dir/tree_dot.cc.o.d"
+  "libctxpref_preference.a"
+  "libctxpref_preference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctxpref_preference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

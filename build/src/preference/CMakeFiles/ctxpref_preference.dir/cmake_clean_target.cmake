@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libctxpref_preference.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctxpref_storage.dir/env_spec.cc.o"
+  "CMakeFiles/ctxpref_storage.dir/env_spec.cc.o.d"
+  "CMakeFiles/ctxpref_storage.dir/profile_io.cc.o"
+  "CMakeFiles/ctxpref_storage.dir/profile_io.cc.o.d"
+  "CMakeFiles/ctxpref_storage.dir/profile_store.cc.o"
+  "CMakeFiles/ctxpref_storage.dir/profile_store.cc.o.d"
+  "libctxpref_storage.a"
+  "libctxpref_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctxpref_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctxpref_util.dir/counters.cc.o"
+  "CMakeFiles/ctxpref_util.dir/counters.cc.o.d"
+  "CMakeFiles/ctxpref_util.dir/crc32.cc.o"
+  "CMakeFiles/ctxpref_util.dir/crc32.cc.o.d"
+  "CMakeFiles/ctxpref_util.dir/random.cc.o"
+  "CMakeFiles/ctxpref_util.dir/random.cc.o.d"
+  "CMakeFiles/ctxpref_util.dir/status.cc.o"
+  "CMakeFiles/ctxpref_util.dir/status.cc.o.d"
+  "CMakeFiles/ctxpref_util.dir/string_util.cc.o"
+  "CMakeFiles/ctxpref_util.dir/string_util.cc.o.d"
+  "libctxpref_util.a"
+  "libctxpref_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctxpref_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/default_profiles.cc" "src/workload/CMakeFiles/ctxpref_workload.dir/default_profiles.cc.o" "gcc" "src/workload/CMakeFiles/ctxpref_workload.dir/default_profiles.cc.o.d"
+  "/root/repo/src/workload/poi_dataset.cc" "src/workload/CMakeFiles/ctxpref_workload.dir/poi_dataset.cc.o" "gcc" "src/workload/CMakeFiles/ctxpref_workload.dir/poi_dataset.cc.o.d"
+  "/root/repo/src/workload/profile_generator.cc" "src/workload/CMakeFiles/ctxpref_workload.dir/profile_generator.cc.o" "gcc" "src/workload/CMakeFiles/ctxpref_workload.dir/profile_generator.cc.o.d"
+  "/root/repo/src/workload/query_generator.cc" "src/workload/CMakeFiles/ctxpref_workload.dir/query_generator.cc.o" "gcc" "src/workload/CMakeFiles/ctxpref_workload.dir/query_generator.cc.o.d"
+  "/root/repo/src/workload/synthetic_hierarchy.cc" "src/workload/CMakeFiles/ctxpref_workload.dir/synthetic_hierarchy.cc.o" "gcc" "src/workload/CMakeFiles/ctxpref_workload.dir/synthetic_hierarchy.cc.o.d"
+  "/root/repo/src/workload/user_sim.cc" "src/workload/CMakeFiles/ctxpref_workload.dir/user_sim.cc.o" "gcc" "src/workload/CMakeFiles/ctxpref_workload.dir/user_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/preference/CMakeFiles/ctxpref_preference.dir/DependInfo.cmake"
+  "/root/repo/build/src/context/CMakeFiles/ctxpref_context.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/ctxpref_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ctxpref_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

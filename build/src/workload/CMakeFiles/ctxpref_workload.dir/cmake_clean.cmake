@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctxpref_workload.dir/default_profiles.cc.o"
+  "CMakeFiles/ctxpref_workload.dir/default_profiles.cc.o.d"
+  "CMakeFiles/ctxpref_workload.dir/poi_dataset.cc.o"
+  "CMakeFiles/ctxpref_workload.dir/poi_dataset.cc.o.d"
+  "CMakeFiles/ctxpref_workload.dir/profile_generator.cc.o"
+  "CMakeFiles/ctxpref_workload.dir/profile_generator.cc.o.d"
+  "CMakeFiles/ctxpref_workload.dir/query_generator.cc.o"
+  "CMakeFiles/ctxpref_workload.dir/query_generator.cc.o.d"
+  "CMakeFiles/ctxpref_workload.dir/synthetic_hierarchy.cc.o"
+  "CMakeFiles/ctxpref_workload.dir/synthetic_hierarchy.cc.o.d"
+  "CMakeFiles/ctxpref_workload.dir/user_sim.cc.o"
+  "CMakeFiles/ctxpref_workload.dir/user_sim.cc.o.d"
+  "libctxpref_workload.a"
+  "libctxpref_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctxpref_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contextual_query_test.dir/contextual_query_test.cc.o"
+  "CMakeFiles/contextual_query_test.dir/contextual_query_test.cc.o.d"
+  "contextual_query_test"
+  "contextual_query_test.pdb"
+  "contextual_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contextual_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discount_test.dir/discount_test.cc.o"
+  "CMakeFiles/discount_test.dir/discount_test.cc.o.d"
+  "discount_test"
+  "discount_test.pdb"
+  "discount_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discount_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_csv_test.dir/index_csv_test.cc.o"
+  "CMakeFiles/index_csv_test.dir/index_csv_test.cc.o.d"
+  "index_csv_test"
+  "index_csv_test.pdb"
+  "index_csv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_dot_test.dir/policy_dot_test.cc.o"
+  "CMakeFiles/policy_dot_test.dir/policy_dot_test.cc.o.d"
+  "policy_dot_test"
+  "policy_dot_test.pdb"
+  "policy_dot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_dot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

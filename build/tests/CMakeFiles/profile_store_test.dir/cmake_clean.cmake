@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_store_test.dir/profile_store_test.cc.o"
+  "CMakeFiles/profile_store_test.dir/profile_store_test.cc.o.d"
+  "profile_store_test"
+  "profile_store_test.pdb"
+  "profile_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

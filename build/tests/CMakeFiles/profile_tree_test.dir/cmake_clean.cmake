@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_tree_test.dir/profile_tree_test.cc.o"
+  "CMakeFiles/profile_tree_test.dir/profile_tree_test.cc.o.d"
+  "profile_tree_test"
+  "profile_tree_test.pdb"
+  "profile_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

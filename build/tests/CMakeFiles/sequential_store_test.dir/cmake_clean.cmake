@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequential_store_test.dir/sequential_store_test.cc.o"
+  "CMakeFiles/sequential_store_test.dir/sequential_store_test.cc.o.d"
+  "sequential_store_test"
+  "sequential_store_test.pdb"
+  "sequential_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequential_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_validate_test.dir/stats_validate_test.cc.o"
+  "CMakeFiles/stats_validate_test.dir/stats_validate_test.cc.o.d"
+  "stats_validate_test"
+  "stats_validate_test.pdb"
+  "stats_validate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_validate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

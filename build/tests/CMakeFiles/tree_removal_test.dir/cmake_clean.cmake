@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_removal_test.dir/tree_removal_test.cc.o"
+  "CMakeFiles/tree_removal_test.dir/tree_removal_test.cc.o.d"
+  "tree_removal_test"
+  "tree_removal_test.pdb"
+  "tree_removal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_removal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

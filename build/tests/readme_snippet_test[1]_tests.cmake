@@ -1,0 +1,3 @@
+add_test([=[ReadmeSnippetTest.QuickstartWorksAsAdvertised]=]  /root/repo/build/tests/readme_snippet_test [==[--gtest_filter=ReadmeSnippetTest.QuickstartWorksAsAdvertised]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[ReadmeSnippetTest.QuickstartWorksAsAdvertised]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  readme_snippet_test_TESTS ReadmeSnippetTest.QuickstartWorksAsAdvertised)

@@ -142,11 +142,12 @@ int AblateQueryCache() {
               "cells accessed");
   std::printf("%-28s %12.2f %16llu\n", "cache disabled", ms_off,
               static_cast<unsigned long long>(cells_off));
+  const CacheStats stats = cache.Stats();
   std::printf("%-28s %12.2f %16llu   (hits=%llu misses=%llu)\n",
               "context query tree", ms_on,
               static_cast<unsigned long long>(cells_on),
-              static_cast<unsigned long long>(cache.hits()),
-              static_cast<unsigned long long>(cache.misses()));
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses));
   std::printf("\n");
   return 0;
 }

@@ -111,9 +111,10 @@ int main() {
       return 1;
     }
   }
+  const CacheStats warm = cache.Stats();
   std::printf("\nQuery cache after 3 identical queries: %llu hits, %llu misses\n",
-              static_cast<unsigned long long>(cache.hits()),
-              static_cast<unsigned long long>(cache.misses()));
+              static_cast<unsigned long long>(warm.hits),
+              static_cast<unsigned long long>(warm.misses));
 
   // Edit the profile -> version bump -> cached entries go stale.
   StatusOr<CompositeDescriptor> cod =
@@ -130,9 +131,11 @@ int main() {
   TreeResolver fresh_resolver(&*tree);
   StatusOr<QueryResult> after = CachedRankCS(
       poi->relation, query, fresh_resolver, *profile, cache, options);
-  std::printf("After a profile edit: %llu hits, %llu misses "
-              "(stale entries recomputed)\n",
-              static_cast<unsigned long long>(cache.hits()),
-              static_cast<unsigned long long>(cache.misses()));
+  const CacheStats edited = cache.Stats();
+  std::printf("After a profile edit: %llu hits, %llu misses, "
+              "%llu invalidations (stale entries recomputed)\n",
+              static_cast<unsigned long long>(edited.hits),
+              static_cast<unsigned long long>(edited.misses),
+              static_cast<unsigned long long>(edited.invalidations));
   return 0;
 }

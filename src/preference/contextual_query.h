@@ -15,6 +15,8 @@
 
 namespace ctxpref {
 
+class ThreadPool;  // util/thread_pool.h
+
 /// A contextual query CQ (paper Def. 9): a query over the database
 /// relation enhanced with an extended context descriptor. The
 /// descriptor may come from the user's *current* context (one detailed
@@ -57,6 +59,16 @@ struct QueryOptions {
   /// Rank_CS's selections use them instead of scanning (must have been
   /// built against the same relation).
   const db::IndexSet* indexes = nullptr;
+  /// Worker threads for `CachedRankCS`'s per-state loop. 1 = evaluate
+  /// states inline (the historical behavior); > 1 spreads the states of
+  /// the extended descriptor over a `ThreadPool`. The merge order is
+  /// fixed, so results do not depend on this value.
+  size_t num_threads = 1;
+  /// Optional shared worker pool for `CachedRankCS`. When set it takes
+  /// precedence over `num_threads` (whose > 1 case spins up a transient
+  /// pool per call — fine for exploratory queries, wasteful under
+  /// server-style traffic). The pool may be shared by many queries.
+  ThreadPool* pool = nullptr;
 };
 
 /// Result of Rank_CS: scored tuples plus resolution diagnostics

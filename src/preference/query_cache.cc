@@ -1,20 +1,40 @@
 #include "preference/query_cache.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_pool.h"
+
 namespace ctxpref {
 
 ContextQueryTree::ContextQueryTree(EnvironmentPtr env, Ordering order,
-                                   size_t capacity)
-    : env_(std::move(env)),
-      order_(std::move(order)),
-      capacity_(capacity),
-      root_(std::make_unique<Node>()) {
+                                   size_t capacity, size_t num_shards)
+    : env_(std::move(env)), order_(std::move(order)) {
   assert(order_.size() == env_->size());
+  if (num_shards == 0) num_shards = 1;
+  // Split the budget evenly; rounding up keeps at least the requested
+  // total (a bounded cache must never become unbounded per shard).
+  shard_capacity_ =
+      capacity == 0 ? 0 : (capacity + num_shards - 1) / num_shards;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->root = std::make_unique<Node>();
+  }
 }
 
-ContextQueryTree::Node* ContextQueryTree::Descend(const ContextState& state,
+ContextQueryTree::Shard& ContextQueryTree::ShardFor(const ContextState& state) {
+  return *shards_[ContextStateHash{}(state) % shards_.size()];
+}
+
+ContextQueryTree::Node* ContextQueryTree::Descend(Shard& shard,
+                                                  const ContextState& state,
                                                   bool create,
                                                   AccessCounter* counter) {
-  Node* node = root_.get();
+  Node* node = shard.root.get();
   for (size_t level = 0; level < env_->size(); ++level) {
     const ValueRef key = state.value(order_.param_at_level(level));
     Node* next = nullptr;
@@ -35,10 +55,10 @@ ContextQueryTree::Node* ContextQueryTree::Descend(const ContextState& state,
   return node;
 }
 
-void ContextQueryTree::RemovePath(const ContextState& state) {
+void ContextQueryTree::RemovePath(Shard& shard, const ContextState& state) {
   // Collect the node chain, then erase the deepest link whose subtree
   // becomes empty.
-  std::vector<Node*> chain = {root_.get()};
+  std::vector<Node*> chain = {shard.root.get()};
   for (size_t level = 0; level < env_->size(); ++level) {
     const ValueRef key = state.value(order_.param_at_level(level));
     Node* next = nullptr;
@@ -67,59 +87,135 @@ void ContextQueryTree::RemovePath(const ContextState& state) {
   }
 }
 
-const std::vector<db::ScoredTuple>* ContextQueryTree::Lookup(
+std::shared_ptr<const ContextQueryTree::Entry> ContextQueryTree::Lookup(
     const ContextState& state, uint64_t profile_version,
     AccessCounter* counter) {
-  Node* node = Descend(state, /*create=*/false, counter);
+  Shard& shard = ShardFor(state);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Node* node = Descend(shard, state, /*create=*/false, counter);
   if (node == nullptr || node->leaf == nullptr) {
-    ++misses_;
+    ++shard.misses;
     return nullptr;
   }
   if (node->leaf->version != profile_version) {
     // Stale: computed against an older profile. Drop on touch.
-    lru_.erase(node->leaf->lru_it);
-    RemovePath(state);
-    --size_;
-    ++misses_;
+    shard.lru.erase(node->leaf->lru_it);
+    RemovePath(shard, state);
+    --shard.size;
+    ++shard.misses;
+    ++shard.invalidations;
     return nullptr;
   }
   // Refresh LRU position.
-  lru_.splice(lru_.begin(), lru_, node->leaf->lru_it);
-  ++hits_;
-  return &node->leaf->tuples;
+  shard.lru.splice(shard.lru.begin(), shard.lru, node->leaf->lru_it);
+  ++shard.hits;
+  return node->leaf->entry;
 }
 
 void ContextQueryTree::Put(const ContextState& state, uint64_t profile_version,
-                           std::vector<db::ScoredTuple> tuples) {
-  Node* node = Descend(state, /*create=*/true, nullptr);
+                           std::vector<db::ScoredTuple> tuples,
+                           std::vector<CandidatePath> candidates) {
+  auto entry = std::make_shared<const Entry>(
+      Entry{std::move(tuples), std::move(candidates)});
+  Shard& shard = ShardFor(state);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Node* node = Descend(shard, state, /*create=*/true, nullptr);
   if (node->leaf != nullptr) {
-    // Overwrite in place.
-    node->leaf->tuples = std::move(tuples);
+    // Overwrite in place; readers holding the old snapshot keep it.
+    node->leaf->entry = std::move(entry);
     node->leaf->version = profile_version;
-    lru_.splice(lru_.begin(), lru_, node->leaf->lru_it);
+    shard.lru.splice(shard.lru.begin(), shard.lru, node->leaf->lru_it);
     return;
   }
-  lru_.push_front(state);
+  shard.lru.push_front(state);
   node->leaf = std::make_unique<Leaf>();
-  node->leaf->tuples = std::move(tuples);
+  node->leaf->entry = std::move(entry);
   node->leaf->version = profile_version;
-  node->leaf->lru_it = lru_.begin();
-  ++size_;
+  node->leaf->lru_it = shard.lru.begin();
+  ++shard.size;
 
-  if (capacity_ > 0 && size_ > capacity_) {
-    const ContextState victim = lru_.back();
-    lru_.pop_back();
-    RemovePath(victim);
-    --size_;
-    ++evictions_;
+  if (shard_capacity_ > 0 && shard.size > shard_capacity_) {
+    const ContextState victim = shard.lru.back();
+    shard.lru.pop_back();
+    RemovePath(shard, victim);
+    --shard.size;
+    ++shard.evictions;
   }
 }
 
 void ContextQueryTree::InvalidateAll() {
-  root_ = std::make_unique<Node>();
-  lru_.clear();
-  size_ = 0;
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->root = std::make_unique<Node>();
+    shard->lru.clear();
+    shard->size = 0;
+  }
 }
+
+CacheStats ContextQueryTree::Stats() const {
+  CacheStats stats;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.evictions += shard->evictions;
+    stats.invalidations += shard->invalidations;
+    stats.size += shard->size;
+  }
+  return stats;
+}
+
+namespace {
+
+/// Outcome of evaluating one query state: either served from cache or
+/// recomputed (and cached); `candidates` carries the resolution trace
+/// in both cases so hits and misses are indistinguishable downstream.
+struct PerStateResult {
+  Status status = Status::OK();
+  std::vector<db::ScoredTuple> tuples;
+  std::vector<CandidatePath> candidates;
+};
+
+PerStateResult EvaluateState(const db::Relation& relation,
+                             const ContextState& s,
+                             const TreeResolver& resolver,
+                             const Profile& profile, ContextQueryTree& cache,
+                             const QueryOptions& options,
+                             AccessCounter* counter) {
+  PerStateResult out;
+  std::shared_ptr<const ContextQueryTree::Entry> cached =
+      cache.Lookup(s, profile.version(), counter);
+  if (cached != nullptr) {
+    out.tuples = cached->tuples;
+    out.candidates = cached->candidates;
+    return out;
+  }
+  // Compute this state's contribution with plain Rank_CS, then
+  // populate the cache.
+  std::vector<CandidatePath> best =
+      resolver.ResolveBest(s, options.resolution, counter);
+  db::Ranker state_ranker(options.combine);
+  for (const CandidatePath& cand : best) {
+    for (const ProfileTree::LeafEntry& entry : cand.entries) {
+      StatusOr<db::Predicate> pred =
+          db::Predicate::Create(relation.schema(), entry.clause.attribute,
+                                entry.clause.op, entry.clause.value);
+      if (!pred.ok()) {
+        out.status = pred.status();
+        return out;
+      }
+      for (db::RowId row : relation.Select(*pred)) {
+        state_ranker.Add(row, entry.score);
+      }
+    }
+  }
+  out.tuples = state_ranker.Ranked();
+  out.candidates = std::move(best);
+  cache.Put(s, profile.version(), out.tuples, out.candidates);
+  return out;
+}
+
+}  // namespace
 
 StatusOr<QueryResult> CachedRankCS(const db::Relation& relation,
                                    const ContextualQuery& query,
@@ -134,44 +230,57 @@ StatusOr<QueryResult> CachedRankCS(const db::Relation& relation,
         "CachedRankCS requires an associative combine policy (max or min)");
   }
   const ContextEnvironment& env = resolver.tree().env();
-  QueryResult result;
-  db::Ranker ranker(options.combine);
 
   std::vector<ContextState> states = query.context.EnumerateStates(env);
   if (states.empty()) states.push_back(ContextState::AllState(env));
-
   for (const ContextState& s : states) {
     CTXPREF_RETURN_IF_ERROR(s.Validate(env));
-    const std::vector<db::ScoredTuple>* cached =
-        cache.Lookup(s, profile.version(), counter);
-    std::vector<db::ScoredTuple> per_state;
-    if (cached != nullptr) {
-      per_state = *cached;
-      result.traces.push_back(QueryResult::Trace{s, {}});
-    } else {
-      // Compute this state's contribution with plain Rank_CS, then
-      // populate the cache.
-      ContextualQuery single;
-      single.context = ExtendedDescriptor();
-      std::vector<CandidatePath> best =
-          resolver.ResolveBest(s, options.resolution, counter);
-      db::Ranker state_ranker(options.combine);
-      for (const CandidatePath& cand : best) {
-        for (const ProfileTree::LeafEntry& entry : cand.entries) {
-          StatusOr<db::Predicate> pred =
-              db::Predicate::Create(relation.schema(), entry.clause.attribute,
-                                    entry.clause.op, entry.clause.value);
-          if (!pred.ok()) return pred.status();
-          for (db::RowId row : relation.Select(*pred)) {
-            state_ranker.Add(row, entry.score);
-          }
-        }
-      }
-      per_state = state_ranker.Ranked();
-      cache.Put(s, profile.version(), per_state);
-      result.traces.push_back(QueryResult::Trace{s, std::move(best)});
+  }
+
+  // Evaluate every state, either inline or on a worker pool. Workers
+  // write disjoint slots; the merge below runs serially in
+  // state-enumeration order, so the ranked output and traces are
+  // independent of the thread count.
+  std::vector<PerStateResult> per_state(states.size());
+  const size_t threads = std::min(options.num_threads, states.size());
+  if (options.pool == nullptr && threads <= 1) {
+    for (size_t i = 0; i < states.size(); ++i) {
+      per_state[i] = EvaluateState(relation, states[i], resolver, profile,
+                                   cache, options, counter);
     }
-    for (const db::ScoredTuple& t : per_state) {
+  } else {
+    // A shared pool may be running other queries' tasks, so completion
+    // is tracked per call rather than with pool Wait().
+    std::unique_ptr<ThreadPool> transient;
+    ThreadPool* pool = options.pool;
+    if (pool == nullptr) {
+      transient = std::make_unique<ThreadPool>(threads);
+      pool = transient.get();
+    }
+    std::atomic<size_t> pending{states.size()};
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    for (size_t i = 0; i < states.size(); ++i) {
+      pool->Submit([&, i] {
+        per_state[i] = EvaluateState(relation, states[i], resolver, profile,
+                                     cache, options, counter);
+        if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> lock(done_mu);
+          done_cv.notify_one();
+        }
+      });
+    }
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock,
+                 [&] { return pending.load(std::memory_order_acquire) == 0; });
+  }
+
+  QueryResult result;
+  db::Ranker ranker(options.combine);
+  for (size_t i = 0; i < states.size(); ++i) {
+    PerStateResult& ps = per_state[i];
+    if (!ps.status.ok()) return ps.status;
+    for (const db::ScoredTuple& t : ps.tuples) {
       // Re-apply the query's restricting selections: cached lists are
       // selection-agnostic (keyed by context state only).
       bool eligible = true;
@@ -183,6 +292,8 @@ StatusOr<QueryResult> CachedRankCS(const db::Relation& relation,
       }
       if (eligible) ranker.Add(t.row_id, t.score);
     }
+    result.traces.push_back(
+        QueryResult::Trace{states[i], std::move(ps.candidates)});
   }
 
   result.tuples =

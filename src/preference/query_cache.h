@@ -3,6 +3,7 @@
 
 #include <list>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "db/ranker.h"
@@ -12,47 +13,98 @@
 
 namespace ctxpref {
 
+/// Point-in-time counter snapshot of a `ContextQueryTree` (aggregated
+/// over all shards). Taken shard-by-shard, so under concurrent traffic
+/// the fields are each exact per shard but the total is not a single
+/// linearization point — fine for benchmarks and monitoring.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  /// Stale-version drops: entries removed on touch because the profile
+  /// moved past the version they were computed at. Every invalidation
+  /// is also counted as a miss (the caller still has to recompute).
+  uint64_t invalidations = 0;
+  size_t size = 0;
+
+  friend bool operator==(const CacheStats&, const CacheStats&) = default;
+};
+
 /// The context query tree: the paper's second index structure,
 /// announced in the contribution list ("caching the results of queries
 /// based on their context", §1/§7; the dedicated section is elided in
 /// the published text — this is our documented reconstruction, see
 /// DESIGN.md).
 ///
-/// Structure: a trie isomorphic to the profile tree, keyed by *query*
-/// context states; each leaf caches the ranked tuples previously
-/// computed for that state. Entries are validated against the profile
-/// `version()` they were computed from and evicted LRU beyond
-/// `capacity`.
+/// Structure: `num_shards` tries, each isomorphic to the profile tree
+/// and keyed by *query* context states; a state's shard is chosen by
+/// hashing its component values, so concurrent queries over different
+/// states mostly touch different locks (striped-lock pattern). Each
+/// shard holds its own mutex, LRU list and capacity slice; each leaf
+/// caches the ranked tuples and winning resolution candidates
+/// previously computed for that state. Entries are validated against
+/// the profile `version()` they were computed from and evicted LRU
+/// beyond the shard capacity.
+///
+/// Thread safety: all public methods are safe to call concurrently.
+/// `Lookup` returns a shared_ptr snapshot, so a reader may keep using
+/// an entry after a concurrent `Put`/eviction/`InvalidateAll` has
+/// removed it from the tree. See docs/concurrency.md.
 class ContextQueryTree {
  public:
-  /// `capacity` = maximum number of cached states (0 = unbounded).
-  ContextQueryTree(EnvironmentPtr env, Ordering order, size_t capacity = 0);
+  static constexpr size_t kDefaultShards = 8;
+
+  /// What a leaf caches for one context state: the ranked tuples plus
+  /// the winning candidate paths that produced them, so cache hits can
+  /// reconstruct the same resolution trace as the original miss.
+  struct Entry {
+    std::vector<db::ScoredTuple> tuples;
+    std::vector<CandidatePath> candidates;
+  };
+
+  /// `capacity` = maximum number of cached states across all shards
+  /// (0 = unbounded); it is split evenly over `num_shards`, so the LRU
+  /// order is exact per shard but only approximate globally. Pass
+  /// `num_shards` = 1 for a single exact LRU domain.
+  ContextQueryTree(EnvironmentPtr env, Ordering order, size_t capacity = 0,
+                   size_t num_shards = kDefaultShards);
 
   const ContextEnvironment& env() const { return *env_; }
-  size_t size() const { return size_; }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t evictions() const { return evictions_; }
+  size_t num_shards() const { return shards_.size(); }
 
-  /// Returns the cached tuples for `state` if present and computed at
-  /// `profile_version`; stale entries are dropped on touch. Ticks
-  /// `counter` per inspected cell (the cache costs cells too).
-  const std::vector<db::ScoredTuple>* Lookup(const ContextState& state,
-                                             uint64_t profile_version,
-                                             AccessCounter* counter = nullptr);
+  /// Aggregated counters; see the individual accessors below for the
+  /// legacy one-at-a-time view.
+  CacheStats Stats() const;
 
-  /// Caches `tuples` for `state` at `profile_version`, evicting the
-  /// least-recently-used state beyond capacity.
+  size_t size() const { return Stats().size; }
+  uint64_t hits() const { return Stats().hits; }
+  uint64_t misses() const { return Stats().misses; }
+  uint64_t evictions() const { return Stats().evictions; }
+  uint64_t invalidations() const { return Stats().invalidations; }
+
+  /// Returns the cached entry for `state` if present and computed at
+  /// `profile_version`; stale entries are dropped on touch (counted as
+  /// both a miss and an invalidation). Ticks `counter` per inspected
+  /// cell (the cache costs cells too). The returned snapshot stays
+  /// valid after concurrent mutations.
+  std::shared_ptr<const Entry> Lookup(const ContextState& state,
+                                      uint64_t profile_version,
+                                      AccessCounter* counter = nullptr);
+
+  /// Caches `tuples` (and the resolution `candidates` that produced
+  /// them) for `state` at `profile_version`, evicting the shard's
+  /// least-recently-used state beyond the shard capacity.
   void Put(const ContextState& state, uint64_t profile_version,
-           std::vector<db::ScoredTuple> tuples);
+           std::vector<db::ScoredTuple> tuples,
+           std::vector<CandidatePath> candidates = {});
 
-  /// Drops every cached entry.
+  /// Drops every cached entry (counters are kept).
   void InvalidateAll();
 
  private:
   struct Node;
   struct Leaf {
-    std::vector<db::ScoredTuple> tuples;
+    std::shared_ptr<const Entry> entry;
     uint64_t version = 0;
     std::list<ContextState>::iterator lru_it;
   };
@@ -65,20 +117,31 @@ class ContextQueryTree {
     std::unique_ptr<Leaf> leaf;  // Set on leaf nodes only.
   };
 
-  Node* Descend(const ContextState& state, bool create,
+  /// One lock stripe: an independent trie + LRU + counters.
+  struct Shard {
+    mutable std::mutex mu;
+    std::unique_ptr<Node> root;
+    std::list<ContextState> lru;  ///< Front = most recently used.
+    size_t size = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;
+  };
+
+  Shard& ShardFor(const ContextState& state);
+
+  /// Shard-local trie walk; caller holds the shard mutex.
+  Node* Descend(Shard& shard, const ContextState& state, bool create,
                 AccessCounter* counter);
-  /// Removes the path for `state` from the trie, pruning empty nodes.
-  void RemovePath(const ContextState& state);
+  /// Removes the path for `state` from the shard's trie, pruning empty
+  /// nodes; caller holds the shard mutex.
+  void RemovePath(Shard& shard, const ContextState& state);
 
   EnvironmentPtr env_;
   Ordering order_;
-  size_t capacity_;
-  std::unique_ptr<Node> root_;
-  std::list<ContextState> lru_;  ///< Front = most recently used.
-  size_t size_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
+  size_t shard_capacity_;  ///< Per shard; 0 = unbounded.
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 /// Rank_CS with per-state caching through a `ContextQueryTree`.
@@ -87,6 +150,10 @@ class ContextQueryTree {
 /// final answer combines the per-state lists under `options.combine`.
 /// Correctness therefore requires an *associative* combine policy —
 /// kMax or kMin; kAvg/kWeighted return InvalidArgument.
+///
+/// With `options.num_threads` > 1 the states are evaluated on a worker
+/// pool and merged in state-enumeration order, so the result (tuples
+/// and traces) is bit-identical to the single-threaded run.
 StatusOr<QueryResult> CachedRankCS(const db::Relation& relation,
                                    const ContextualQuery& query,
                                    const TreeResolver& resolver,

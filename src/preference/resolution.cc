@@ -1,8 +1,18 @@
 #include "preference/resolution.h"
 
+#include <algorithm>
+#include <cmath>
 #include <unordered_set>
 
 namespace ctxpref {
+
+bool NearlyEqual(double a, double b) {
+  // Relative to the larger magnitude, with an absolute floor of 1 so
+  // distances near zero compare sanely (all distances here are small
+  // non-negative sums of per-level terms in [0, n]).
+  constexpr double kEps = 1e-9;
+  return std::abs(a - b) <= kEps * std::max({1.0, std::abs(a), std::abs(b)});
+}
 
 std::vector<CandidatePath> BestCandidates(
     std::vector<CandidatePath> candidates) {
@@ -13,7 +23,7 @@ std::vector<CandidatePath> BestCandidates(
   }
   std::vector<CandidatePath> out;
   for (CandidatePath& c : candidates) {
-    if (c.distance == best) out.push_back(std::move(c));
+    if (NearlyEqual(c.distance, best)) out.push_back(std::move(c));
   }
   return out;
 }
@@ -87,7 +97,7 @@ std::vector<CandidatePath> TieBreakByHierarchyDistance(
   }
   std::vector<CandidatePath> out;
   for (size_t i = 0; i < candidates.size(); ++i) {
-    if (dist[i] == best) out.push_back(std::move(candidates[i]));
+    if (NearlyEqual(dist[i], best)) out.push_back(std::move(candidates[i]));
   }
   return out;
 }

@@ -28,9 +28,17 @@ struct CandidatePath {
   std::vector<ProfileTree::LeafEntry> entries;
 };
 
+/// Relative-epsilon equality for accumulated candidate distances.
+/// Per-level Jaccard (or level-count) distances are summed along the
+/// tree path, so two mathematically tied candidates can differ by a few
+/// ulps depending on accumulation order (0.1 + 0.2 != 0.3 in binary);
+/// exact `==` would silently drop one of the tied candidates.
+bool NearlyEqual(double a, double b);
+
 /// Keeps only the minimum-distance candidates of `candidates` (several
 /// on ties — the paper leaves tie-breaking to the system or the user;
-/// `Rank_CS` consumes all tied candidates). Order is preserved.
+/// `Rank_CS` consumes all tied candidates). Ties are detected with
+/// `NearlyEqual`, not exact `==`. Order is preserved.
 std::vector<CandidatePath> BestCandidates(std::vector<CandidatePath> candidates);
 
 /// Jaccard ties need a secondary key: in degenerate hierarchies an

@@ -1,6 +1,7 @@
 #ifndef CTXPREF_UTIL_COUNTERS_H_
 #define CTXPREF_UTIL_COUNTERS_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace ctxpref {
@@ -13,24 +14,35 @@ namespace ctxpref {
 /// entry points accept an optional `AccessCounter*`; when non-null the
 /// data structures tick it on every cell inspected, so the benchmark
 /// measures the real traversal rather than estimating it.
+///
+/// The counters are relaxed atomics so one counter can be shared by the
+/// worker threads of a parallel `CachedRankCS` run; totals are exact,
+/// but reads concurrent with ticks are only a snapshot.
 class AccessCounter {
  public:
   AccessCounter() = default;
 
-  void AddCell(uint64_t n = 1) { cells_ += n; }
-  void AddNode(uint64_t n = 1) { nodes_ += n; }
+  AccessCounter(const AccessCounter&) = delete;
+  AccessCounter& operator=(const AccessCounter&) = delete;
 
-  uint64_t cells() const { return cells_; }
-  uint64_t nodes() const { return nodes_; }
+  void AddCell(uint64_t n = 1) {
+    cells_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddNode(uint64_t n = 1) {
+    nodes_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t cells() const { return cells_.load(std::memory_order_relaxed); }
+  uint64_t nodes() const { return nodes_.load(std::memory_order_relaxed); }
 
   void Reset() {
-    cells_ = 0;
-    nodes_ = 0;
+    cells_.store(0, std::memory_order_relaxed);
+    nodes_.store(0, std::memory_order_relaxed);
   }
 
  private:
-  uint64_t cells_ = 0;
-  uint64_t nodes_ = 0;
+  std::atomic<uint64_t> cells_{0};
+  std::atomic<uint64_t> nodes_{0};
 };
 
 }  // namespace ctxpref

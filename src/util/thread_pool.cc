@@ -1,0 +1,58 @@
+#include "util/thread_pool.h"
+
+#include <utility>
+
+namespace ctxpref {
+
+ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity) {
+  if (num_threads == 0) num_threads = 1;
+  queue_capacity_ = queue_capacity > 0 ? queue_capacity : 2 * num_threads;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back(
+        [this](std::stop_token stop) { WorkerLoop(std::move(stop)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  for (std::jthread& w : workers_) w.request_stop();
+  not_empty_.notify_all();
+  // jthread joins on destruction; WorkerLoop drains the queue first.
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] { return queue_.size() < queue_capacity_; });
+    queue_.push_back(std::move(task));
+  }
+  not_empty_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void ThreadPool::WorkerLoop(std::stop_token stop) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, stop, [this] { return !queue_.empty(); });
+      if (queue_.empty()) return;  // Stop requested and queue drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    not_full_.notify_one();
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+      if (queue_.empty() && running_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace ctxpref

@@ -1,0 +1,57 @@
+#ifndef CTXPREF_UTIL_THREAD_POOL_H_
+#define CTXPREF_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ctxpref {
+
+/// A small fixed-size worker pool over a bounded task queue.
+///
+/// `Submit` blocks when the queue is full (backpressure instead of
+/// unbounded memory growth), `Wait` blocks until every submitted task
+/// has finished. Destruction drains the queue: tasks already submitted
+/// run to completion before the `std::jthread`s join.
+///
+/// Used by `CachedRankCS` to evaluate the states of an extended
+/// descriptor concurrently; results are merged by the caller in a
+/// deterministic order, so tasks must not depend on execution order.
+class ThreadPool {
+ public:
+  /// `num_threads` is clamped to at least 1; `queue_capacity` = 0 means
+  /// twice the thread count.
+  explicit ThreadPool(size_t num_threads, size_t queue_capacity = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `task`; blocks while the queue is at capacity.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void Wait();
+
+ private:
+  void WorkerLoop(std::stop_token stop);
+
+  std::mutex mu_;
+  std::condition_variable_any not_empty_;  ///< Queue gained a task.
+  std::condition_variable not_full_;       ///< Queue gained a slot.
+  std::condition_variable idle_;           ///< Queue drained, nothing running.
+  std::deque<std::function<void()>> queue_;
+  size_t queue_capacity_;
+  size_t running_ = 0;  ///< Tasks currently executing.
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace ctxpref
+
+#endif  // CTXPREF_UTIL_THREAD_POOL_H_

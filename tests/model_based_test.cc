@@ -79,7 +79,10 @@ class CacheModelTest : public ::testing::TestWithParam<uint64_t> {};
 TEST_P(CacheModelTest, RandomOpsMatchReferenceLru) {
   EnvironmentPtr env = PaperEnv();
   constexpr size_t kCapacity = 8;
-  ContextQueryTree cache(env, Ordering::Identity(env->size()), kCapacity);
+  // One shard = one exact LRU domain, matching the reference model;
+  // multi-shard eviction is only LRU per shard.
+  ContextQueryTree cache(env, Ordering::Identity(env->size()), kCapacity,
+                         /*num_shards=*/1);
   ReferenceLru reference(kCapacity);
 
   Rng rng(GetParam());
@@ -92,10 +95,11 @@ TEST_P(CacheModelTest, RandomOpsMatchReferenceLru) {
     const ContextState& s = pool[rng.Uniform(pool.size())];
     const double roll = rng.NextDouble();
     if (roll < 0.45) {
-      const std::vector<db::ScoredTuple>* a = cache.Lookup(s, version);
+      std::shared_ptr<const ContextQueryTree::Entry> a =
+          cache.Lookup(s, version);
       const std::vector<db::ScoredTuple>* b = reference.Lookup(s, version);
       ASSERT_EQ(a != nullptr, b != nullptr) << "step " << step;
-      if (a != nullptr) ASSERT_EQ(*a, *b) << "step " << step;
+      if (a != nullptr) ASSERT_EQ(a->tuples, *b) << "step " << step;
     } else if (roll < 0.9) {
       std::vector<db::ScoredTuple> tuples = {
           {rng.Uniform(100), rng.NextDouble()}};

@@ -21,8 +21,11 @@ class QueryCacheTest : public ::testing::Test {
     env_ = poi_->env;
   }
 
-  ContextQueryTree MakeCache(size_t capacity = 0) {
-    return ContextQueryTree(env_, Ordering::Identity(env_->size()), capacity);
+  /// `num_shards` = 1 keeps a single LRU domain so eviction order is
+  /// exact; multi-shard behavior is covered by the dedicated tests.
+  ContextQueryTree MakeCache(size_t capacity = 0, size_t num_shards = 1) {
+    return ContextQueryTree(env_, Ordering::Identity(env_->size()), capacity,
+                            num_shards);
   }
 
   std::unique_ptr<workload::PoiDatabase> poi_;
@@ -33,9 +36,9 @@ TEST_F(QueryCacheTest, PutThenLookupHits) {
   ContextQueryTree cache = MakeCache();
   ContextState s = State(*env_, {"Plaka", "warm", "friends"});
   cache.Put(s, 1, {{3, 0.9}, {5, 0.7}});
-  const std::vector<db::ScoredTuple>* hit = cache.Lookup(s, 1);
+  std::shared_ptr<const ContextQueryTree::Entry> hit = cache.Lookup(s, 1);
   ASSERT_NE(hit, nullptr);
-  EXPECT_EQ(hit->size(), 2u);
+  EXPECT_EQ(hit->tuples.size(), 2u);
   EXPECT_EQ(cache.hits(), 1u);
   EXPECT_EQ(cache.size(), 1u);
 }
@@ -54,9 +57,36 @@ TEST_F(QueryCacheTest, StaleVersionInvalidatesOnTouch) {
   EXPECT_EQ(cache.Lookup(s, 2), nullptr);  // Profile moved to version 2.
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.misses(), 1u);
+  // A stale drop is an invalidation, not just a miss.
+  EXPECT_EQ(cache.invalidations(), 1u);
   // Re-populate at the new version.
   cache.Put(s, 2, {{3, 0.9}});
   EXPECT_NE(cache.Lookup(s, 2), nullptr);
+}
+
+TEST_F(QueryCacheTest, StatsSnapshotAggregatesAllCounters) {
+  ContextQueryTree cache = MakeCache(/*capacity=*/1);
+  ContextState a = State(*env_, {"Plaka", "warm", "friends"});
+  ContextState b = State(*env_, {"Kifisia", "hot", "family"});
+  cache.Put(a, 1, {{1, 0.5}});
+  EXPECT_NE(cache.Lookup(a, 1), nullptr);  // hit
+  EXPECT_EQ(cache.Lookup(b, 1), nullptr);  // miss
+  cache.Put(b, 1, {{2, 0.5}});             // evicts a
+  cache.Put(a, 2, {{1, 0.5}});             // evicts b
+  EXPECT_EQ(cache.Lookup(a, 3), nullptr);  // stale drop: miss + invalidation
+
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.size, 0u);
+  // The legacy accessors are views of the same snapshot.
+  EXPECT_EQ(cache.hits(), stats.hits);
+  EXPECT_EQ(cache.misses(), stats.misses);
+  EXPECT_EQ(cache.evictions(), stats.evictions);
+  EXPECT_EQ(cache.invalidations(), stats.invalidations);
+  EXPECT_EQ(cache.size(), stats.size);
 }
 
 TEST_F(QueryCacheTest, PutOverwritesInPlace) {
@@ -65,13 +95,25 @@ TEST_F(QueryCacheTest, PutOverwritesInPlace) {
   cache.Put(s, 1, {{3, 0.9}});
   cache.Put(s, 1, {{4, 0.8}});
   EXPECT_EQ(cache.size(), 1u);
-  const std::vector<db::ScoredTuple>* hit = cache.Lookup(s, 1);
+  std::shared_ptr<const ContextQueryTree::Entry> hit = cache.Lookup(s, 1);
   ASSERT_NE(hit, nullptr);
-  EXPECT_EQ((*hit)[0].row_id, 4u);
+  EXPECT_EQ(hit->tuples[0].row_id, 4u);
+}
+
+TEST_F(QueryCacheTest, LookupSnapshotSurvivesOverwrite) {
+  ContextQueryTree cache = MakeCache();
+  ContextState s = State(*env_, {"Plaka", "warm", "friends"});
+  cache.Put(s, 1, {{3, 0.9}});
+  std::shared_ptr<const ContextQueryTree::Entry> snapshot = cache.Lookup(s, 1);
+  ASSERT_NE(snapshot, nullptr);
+  cache.Put(s, 1, {{4, 0.8}});
+  cache.InvalidateAll();
+  // The reader's snapshot is unaffected by the concurrent-style churn.
+  EXPECT_EQ(snapshot->tuples[0].row_id, 3u);
 }
 
 TEST_F(QueryCacheTest, LruEvictionBeyondCapacity) {
-  ContextQueryTree cache = MakeCache(/*capacity=*/2);
+  ContextQueryTree cache = MakeCache(/*capacity=*/2, /*num_shards=*/1);
   ContextState a = State(*env_, {"Plaka", "warm", "friends"});
   ContextState b = State(*env_, {"Kifisia", "hot", "family"});
   ContextState c = State(*env_, {"Perama", "cold", "alone"});
@@ -85,6 +127,30 @@ TEST_F(QueryCacheTest, LruEvictionBeyondCapacity) {
   EXPECT_NE(cache.Lookup(a, 1), nullptr);
   EXPECT_EQ(cache.Lookup(b, 1), nullptr);  // Evicted.
   EXPECT_NE(cache.Lookup(c, 1), nullptr);
+}
+
+TEST_F(QueryCacheTest, ShardedCacheKeepsStatesSeparate) {
+  ContextQueryTree cache = MakeCache(/*capacity=*/0, /*num_shards=*/8);
+  EXPECT_EQ(cache.num_shards(), 8u);
+  std::vector<ContextState> states = {
+      State(*env_, {"Plaka", "warm", "friends"}),
+      State(*env_, {"Kifisia", "hot", "family"}),
+      State(*env_, {"Perama", "cold", "alone"}),
+      State(*env_, {"Plaka", "hot", "alone"}),
+      State(*env_, {"Kifisia", "cold", "friends"}),
+  };
+  for (size_t i = 0; i < states.size(); ++i) {
+    cache.Put(states[i], 1, {{static_cast<db::RowId>(i), 0.5}});
+  }
+  EXPECT_EQ(cache.size(), states.size());
+  for (size_t i = 0; i < states.size(); ++i) {
+    std::shared_ptr<const ContextQueryTree::Entry> hit =
+        cache.Lookup(states[i], 1);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->tuples[0].row_id, i);
+  }
+  cache.InvalidateAll();
+  EXPECT_EQ(cache.size(), 0u);
 }
 
 TEST_F(QueryCacheTest, InvalidateAllDropsEverything) {
@@ -141,6 +207,53 @@ TEST_F(QueryCacheTest, CachedRankCSMatchesUncachedAndHits) {
   EXPECT_EQ(cache.hits(), 1u);
 }
 
+TEST_F(QueryCacheTest, CacheHitProducesIdenticalTrace) {
+  Profile profile(env_);
+  ASSERT_OK(profile.Insert(
+      Pref(*env_, "temperature = hot", "type", "park", 0.9)));
+  ASSERT_OK(profile.Insert(
+      Pref(*env_, "accompanying_people = friends", "type", "brewery", 0.7)));
+  StatusOr<ProfileTree> tree = ProfileTree::Build(profile);
+  ASSERT_OK(tree.status());
+  TreeResolver resolver(&*tree);
+  ContextQueryTree cache = MakeCache(16);
+
+  StatusOr<ExtendedDescriptor> ecod = ParseExtendedDescriptor(
+      *env_, "temperature = hot and accompanying_people = friends");
+  ASSERT_OK(ecod.status());
+  ContextualQuery q;
+  q.context = *ecod;
+
+  StatusOr<QueryResult> miss =
+      CachedRankCS(poi_->relation, q, resolver, profile, cache);
+  ASSERT_OK(miss.status());
+  StatusOr<QueryResult> hit =
+      CachedRankCS(poi_->relation, q, resolver, profile, cache);
+  ASSERT_OK(hit.status());
+  EXPECT_GE(cache.hits(), 1u);
+
+  // Resolution provenance must not be lost on the cached path.
+  ASSERT_EQ(hit->traces.size(), miss->traces.size());
+  for (size_t i = 0; i < miss->traces.size(); ++i) {
+    EXPECT_EQ(hit->traces[i].query_state, miss->traces[i].query_state);
+    ASSERT_EQ(hit->traces[i].candidates.size(),
+              miss->traces[i].candidates.size());
+    EXPECT_FALSE(miss->traces[i].candidates.empty())
+        << "trace " << i << " resolved no candidates; test is vacuous";
+    for (size_t c = 0; c < miss->traces[i].candidates.size(); ++c) {
+      const CandidatePath& m = miss->traces[i].candidates[c];
+      const CandidatePath& h = hit->traces[i].candidates[c];
+      EXPECT_EQ(h.state, m.state);
+      EXPECT_EQ(h.distance, m.distance);
+      ASSERT_EQ(h.entries.size(), m.entries.size());
+      for (size_t e = 0; e < m.entries.size(); ++e) {
+        EXPECT_EQ(h.entries[e].clause, m.entries[e].clause);
+        EXPECT_EQ(h.entries[e].score, m.entries[e].score);
+      }
+    }
+  }
+}
+
 TEST_F(QueryCacheTest, CachedRankCSRespectsProfileVersion) {
   Profile profile(env_);
   ASSERT_OK(profile.Insert(
@@ -174,6 +287,7 @@ TEST_F(QueryCacheTest, CachedRankCSRespectsProfileVersion) {
         poi_->relation.row(t.row_id)[type_col].AsString() == "museum";
   }
   EXPECT_TRUE(saw_museum);
+  EXPECT_GE(cache.invalidations(), 1u);
 }
 
 TEST_F(QueryCacheTest, CachedRankCSAppliesSelectionsPostCache) {

@@ -164,6 +164,32 @@ TEST_F(ResolutionTest, BestCandidatesKeepsAllMinima) {
   EXPECT_TRUE(BestCandidates({}).empty());
 }
 
+TEST_F(ResolutionTest, BestCandidatesKeepsEpsilonTies) {
+  // Two candidates whose per-level Jaccard sums are mathematically
+  // equal but accumulate in different orders: 0.1 + 0.2 != 0.3 in
+  // binary floating point. Exact `==` used to drop one of them.
+  const double accumulated = 0.1 + 0.2;  // 0.30000000000000004...
+  const double direct = 0.3;
+  ASSERT_NE(accumulated, direct);  // The tie really is inexact.
+  ASSERT_TRUE(NearlyEqual(accumulated, direct));
+  std::vector<CandidatePath> cands;
+  cands.push_back(CandidatePath{{}, accumulated, {}});
+  cands.push_back(CandidatePath{{}, direct, {}});
+  EXPECT_EQ(BestCandidates(std::move(cands)).size(), 2u);
+  // Order independence: the larger representation first.
+  std::vector<CandidatePath> swapped;
+  swapped.push_back(CandidatePath{{}, direct, {}});
+  swapped.push_back(CandidatePath{{}, accumulated, {}});
+  EXPECT_EQ(BestCandidates(std::move(swapped)).size(), 2u);
+}
+
+TEST_F(ResolutionTest, NearlyEqualIsRelative) {
+  EXPECT_TRUE(NearlyEqual(0.0, 0.0));
+  EXPECT_TRUE(NearlyEqual(1e9, 1e9 + 0.5));    // Relative slack scales up.
+  EXPECT_FALSE(NearlyEqual(0.3, 0.3000001));   // A real difference stays one.
+  EXPECT_FALSE(NearlyEqual(1.0, 2.0));
+}
+
 TEST_F(ResolutionTest, FormalMatchesDef12) {
   Profile p(env_);
   Add(p, "location = Greece and temperature = warm", "type", "park", 0.5);

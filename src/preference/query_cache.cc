@@ -1,9 +1,9 @@
 #include "preference/query_cache.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cassert>
 #include <condition_variable>
+#include <exception>
 #include <mutex>
 
 #include "util/thread_pool.h"
@@ -15,8 +15,12 @@ ContextQueryTree::ContextQueryTree(EnvironmentPtr env, Ordering order,
     : env_(std::move(env)), order_(std::move(order)) {
   assert(order_.size() == env_->size());
   if (num_shards == 0) num_shards = 1;
+  // More shards than capacity would give every shard a budget of 1 and
+  // let the global bound balloon to num_shards; clamp instead.
+  if (capacity > 0 && num_shards > capacity) num_shards = capacity;
   // Split the budget evenly; rounding up keeps at least the requested
-  // total (a bounded cache must never become unbounded per shard).
+  // total (a bounded cache must never become unbounded per shard), at
+  // the cost of overshooting `capacity` by up to num_shards - 1.
   shard_capacity_ =
       capacity == 0 ? 0 : (capacity + num_shards - 1) / num_shards;
   shards_.reserve(num_shards);
@@ -250,29 +254,41 @@ StatusOr<QueryResult> CachedRankCS(const db::Relation& relation,
     }
   } else {
     // A shared pool may be running other queries' tasks, so completion
-    // is tracked per call rather than with pool Wait().
+    // is tracked per call rather than with pool Wait(). `pending` is a
+    // plain count decremented under `done_mu`: the waiter only checks
+    // it while holding the mutex, so it cannot observe 0 (and destroy
+    // the sync state on scope exit) while a worker still holds
+    // references to it. `transient` is declared after the sync state
+    // so its destructor joins the workers before that state goes away.
+    size_t pending = states.size();
+    std::mutex done_mu;
+    std::condition_variable done_cv;
     std::unique_ptr<ThreadPool> transient;
     ThreadPool* pool = options.pool;
     if (pool == nullptr) {
       transient = std::make_unique<ThreadPool>(threads);
       pool = transient.get();
     }
-    std::atomic<size_t> pending{states.size()};
-    std::mutex done_mu;
-    std::condition_variable done_cv;
     for (size_t i = 0; i < states.size(); ++i) {
       pool->Submit([&, i] {
-        per_state[i] = EvaluateState(relation, states[i], resolver, profile,
-                                     cache, options, counter);
-        if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          std::lock_guard<std::mutex> lock(done_mu);
-          done_cv.notify_one();
+        PerStateResult r;
+        try {
+          r = EvaluateState(relation, states[i], resolver, profile, cache,
+                            options, counter);
+        } catch (const std::exception& e) {
+          r.status = Status::Internal(e.what());
+        } catch (...) {
+          r.status = Status::Internal("unknown exception in EvaluateState");
         }
+        per_state[i] = std::move(r);
+        // The decrement must happen in every path, or the waiter below
+        // would block forever.
+        std::lock_guard<std::mutex> lock(done_mu);
+        if (--pending == 0) done_cv.notify_one();
       });
     }
     std::unique_lock<std::mutex> lock(done_mu);
-    done_cv.wait(lock,
-                 [&] { return pending.load(std::memory_order_acquire) == 0; });
+    done_cv.wait(lock, [&] { return pending == 0; });
   }
 
   QueryResult result;

@@ -62,10 +62,13 @@ class ContextQueryTree {
     std::vector<CandidatePath> candidates;
   };
 
-  /// `capacity` = maximum number of cached states across all shards
-  /// (0 = unbounded); it is split evenly over `num_shards`, so the LRU
-  /// order is exact per shard but only approximate globally. Pass
-  /// `num_shards` = 1 for a single exact LRU domain.
+  /// `capacity` = target number of cached states across all shards
+  /// (0 = unbounded). It is split evenly over `num_shards` (rounded
+  /// up, with `num_shards` clamped to `capacity` when the latter is
+  /// smaller), so the effective global bound can exceed `capacity` by
+  /// up to `num_shards - 1` entries, and the LRU order is exact per
+  /// shard but only approximate globally. Pass `num_shards` = 1 for an
+  /// exact bound and a single LRU domain.
   ContextQueryTree(EnvironmentPtr env, Ordering order, size_t capacity = 0,
                    size_t num_shards = kDefaultShards);
 

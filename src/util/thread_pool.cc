@@ -1,5 +1,6 @@
 #include "util/thread_pool.h"
 
+#include <stdexcept>
 #include <utility>
 
 namespace ctxpref {
@@ -15,15 +16,27 @@ ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity) {
 }
 
 ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
   for (std::jthread& w : workers_) w.request_stop();
   not_empty_.notify_all();
+  // Wake any Submit blocked on a full queue so it fails fast instead
+  // of hanging once the workers stop signaling free slots.
+  not_full_.notify_all();
   // jthread joins on destruction; WorkerLoop drains the queue first.
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [this] { return queue_.size() < queue_capacity_; });
+    not_full_.wait(lock, [this] {
+      return stopping_ || queue_.size() < queue_capacity_;
+    });
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool::Submit called during shutdown");
+    }
     queue_.push_back(std::move(task));
   }
   not_empty_.notify_one();
@@ -46,7 +59,14 @@ void ThreadPool::WorkerLoop(std::stop_token stop) {
       ++running_;
     }
     not_full_.notify_one();
-    task();
+    try {
+      task();
+    } catch (...) {
+      // An exception leaving a jthread body would std::terminate the
+      // process (and skip the bookkeeping below). Tasks are expected
+      // to report failure through their own channels, e.g. a captured
+      // Status; anything escaping anyway is dropped here.
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --running_;

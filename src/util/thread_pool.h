@@ -33,7 +33,12 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
-  /// Enqueues `task`; blocks while the queue is at capacity.
+  /// Enqueues `task`; blocks while the queue is at capacity. Throws
+  /// `std::runtime_error` once destruction has begun instead of
+  /// enqueuing a task that would never run. Exceptions escaping `task`
+  /// itself are caught and discarded by the worker, so tasks must
+  /// report failure through their own channels (e.g. a captured
+  /// Status).
   void Submit(std::function<void()> task);
 
   /// Blocks until the queue is empty and no task is running.
@@ -48,7 +53,8 @@ class ThreadPool {
   std::condition_variable idle_;           ///< Queue drained, nothing running.
   std::deque<std::function<void()>> queue_;
   size_t queue_capacity_;
-  size_t running_ = 0;  ///< Tasks currently executing.
+  size_t running_ = 0;     ///< Tasks currently executing.
+  bool stopping_ = false;  ///< Set by the destructor; Submit fails fast.
   std::vector<std::jthread> workers_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -39,6 +40,25 @@ TEST(ThreadPoolTest, WaitIsReusableAcrossBatches) {
     pool.Wait();
     EXPECT_EQ(count.load(), (batch + 1) * 10);
   }
+}
+
+TEST(ThreadPoolTest, TaskExceptionIsContained) {
+  // A throw escaping a task must not terminate the process or corrupt
+  // the pool's running-task bookkeeping (Wait would hang otherwise).
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&count, i] {
+      if (i % 2 == 0) throw std::runtime_error("task failure");
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 10);
+  // The pool is still serviceable after the throws.
+  pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 11);
 }
 
 TEST(ThreadPoolTest, DestructorDrainsQueue) {

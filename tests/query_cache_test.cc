@@ -153,6 +153,27 @@ TEST_F(QueryCacheTest, ShardedCacheKeepsStatesSeparate) {
   EXPECT_EQ(cache.size(), 0u);
 }
 
+TEST_F(QueryCacheTest, ShardCountClampedToSmallCapacity) {
+  // With capacity < num_shards, an unclamped split would give every
+  // shard a budget of 1 and let the global bound balloon to
+  // num_shards; the constructor clamps the shard count instead.
+  ContextQueryTree cache = MakeCache(/*capacity=*/2, /*num_shards=*/8);
+  EXPECT_EQ(cache.num_shards(), 2u);
+  std::vector<ContextState> states = {
+      State(*env_, {"Plaka", "warm", "friends"}),
+      State(*env_, {"Kifisia", "hot", "family"}),
+      State(*env_, {"Perama", "cold", "alone"}),
+      State(*env_, {"Plaka", "hot", "alone"}),
+      State(*env_, {"Kifisia", "cold", "friends"}),
+  };
+  for (size_t i = 0; i < states.size(); ++i) {
+    cache.Put(states[i], 1, {{static_cast<db::RowId>(i), 0.5}});
+  }
+  // capacity 2 over 2 clamped shards = 1 per shard, no rounding
+  // overshoot: the global bound is exactly the requested capacity.
+  EXPECT_LE(cache.size(), 2u);
+}
+
 TEST_F(QueryCacheTest, InvalidateAllDropsEverything) {
   ContextQueryTree cache = MakeCache();
   cache.Put(State(*env_, {"Plaka", "warm", "friends"}), 1, {{1, 0.5}});

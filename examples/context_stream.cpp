@@ -1,10 +1,12 @@
-// Context streaming: sensors + standing queries.
+// Context streaming: resilient sensors + standing queries.
 //
-// Simulates a user walking around Athens over a day: noisy sensors
-// feed the current context (paper §4.1's "rough values" point), a
-// standing contextual query re-ranks recommendations whenever the
-// resolved preferences change, and a fixed exploratory query watches
-// how profile edits reshape a planned trip.
+// Simulates a user walking around Athens over a day: noisy sensors —
+// wrapped in `ResilientSource` for retries, last-known-good serving
+// and hierarchy-based degradation — feed the current context (paper
+// §4.1's "rough values" point), a standing contextual query re-ranks
+// recommendations whenever the resolved preferences change, and a
+// fixed exploratory query watches how profile edits reshape a planned
+// trip. Degraded acquisitions are explained inline.
 //
 //   $ ./context_stream
 
@@ -13,8 +15,10 @@
 #include <vector>
 
 #include "context/parser.h"
+#include "context/resilient_source.h"
 #include "context/source.h"
 #include "preference/continuous.h"
+#include "preference/explain.h"
 #include "workload/default_profiles.h"
 #include "workload/poi_dataset.h"
 
@@ -36,24 +40,37 @@ int main() {
   }
 
   // ---- Sensors: location is GPS-grade (exact region), weather comes
-  //      from a flaky forecast service (often city-level coarse).
+  //      from a flaky forecast service (often city-level coarse). Both
+  //      go through a ResilientSource: failed reads retry with backoff,
+  //      then serve the last known good value, lifting it one hierarchy
+  //      level per staleness window until it reaches `all`.
   const Hierarchy& loc = env.parameter(0).hierarchy();
   const Hierarchy& weather = env.parameter(1).hierarchy();
   auto location_sensor = std::make_unique<NoisySensorSource>(
       env, 0, *loc.Find(0, "Plaka"), /*coarseness=*/0.2, /*dropout=*/0.05,
       /*seed=*/1);
   auto weather_sensor = std::make_unique<NoisySensorSource>(
-      env, 1, *weather.Find(0, "warm"), /*coarseness=*/0.5, /*dropout=*/0.1,
+      env, 1, *weather.Find(0, "warm"), /*coarseness=*/0.5, /*dropout=*/0.65,
       /*seed=*/2);
   NoisySensorSource* location_raw = location_sensor.get();
   NoisySensorSource* weather_raw = weather_sensor.get();
 
+  FakeClock clock;  // Scripted time: two hours pass between readings.
+  SourcePolicy policy;
+  policy.max_attempts = 2;
+  policy.stale_ttl_micros = 3'000'000;
+  policy.lift_window_micros = 3'000'000;
+
   CurrentContext current(poi->env);
-  if (Status st = current.AddSource(std::move(location_sensor)); !st.ok()) {
+  if (Status st = current.AddSource(std::make_unique<ResilientSource>(
+          env, std::move(location_sensor), policy, &clock, /*seed=*/11));
+      !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
-  if (Status st = current.AddSource(std::move(weather_sensor)); !st.ok()) {
+  if (Status st = current.AddSource(std::make_unique<ResilientSource>(
+          env, std::move(weather_sensor), policy, &clock, /*seed=*/12));
+      !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
@@ -123,19 +140,31 @@ int main() {
     location_raw->set_true_value(*loc.Find(0, step.region));
     weather_raw->set_true_value(*weather.Find(0, step.weather));
     companion_raw->set_value(*company.Find(0, step.company));
-    StatusOr<ContextState> state = current.Snapshot();
-    if (!state.ok()) {
-      std::fprintf(stderr, "%s\n", state.status().ToString().c_str());
-      return 1;
+    clock.Advance(2'000'000);  // "Two hours" in scripted seconds.
+    SnapshotReport report = current.SnapshotWithReport();
+    std::printf("%s sensed %s\n", step.when,
+                report.state.ToString(env).c_str());
+    if (!report.fully_fresh()) {
+      // Tell the user *why* the context is coarser than expected.
+      std::printf("%s", ExplainAcquisition(env, report).c_str());
     }
-    std::printf("%s sensed %s\n", step.when, state->ToString(env).c_str());
-    StatusOr<size_t> fired = engine.OnContext(*state);
+    StatusOr<size_t> fired = engine.OnContext(report.state);
     if (!fired.ok()) {
       std::fprintf(stderr, "%s\n", fired.status().ToString().c_str());
       return 1;
     }
     if (*fired == 0) std::printf("  (no change)\n");
   }
+
+  const AcquisitionStats acq = current.counters().Snapshot();
+  std::printf(
+      "\nAcquisition health: %llu reads, %llu fresh, %llu retried, "
+      "%llu stale/lifted, %llu absent\n",
+      static_cast<unsigned long long>(acq.reads),
+      static_cast<unsigned long long>(acq.fresh),
+      static_cast<unsigned long long>(acq.retried),
+      static_cast<unsigned long long>(acq.stale + acq.stale_lifted),
+      static_cast<unsigned long long>(acq.absent));
 
   // ---- An evening profile edit re-fires the planned-trip watcher.
   std::printf("\nEditing profile: family trips should visit the zoo more\n");

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# One-command verification: tier-1 tests plus sanitizer passes.
+#
+#   scripts/check.sh            # tier-1 (plain build) + ASan/UBSan tier-1
+#   scripts/check.sh --tsan     # also run the chaos/concurrency tests
+#                               # under ThreadSanitizer
+#   scripts/check.sh --fast     # tier-1 only, no sanitizers
+#
+# Build trees: build/ (plain), build-asan/ (address,undefined),
+# build-tsan/ (thread). Each is configured on first use and reused.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+RUN_TSAN=0
+RUN_ASAN=1
+for arg in "$@"; do
+  case "$arg" in
+    --tsan) RUN_TSAN=1 ;;
+    --fast) RUN_ASAN=0 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+configure_and_test() {
+  local dir="$1" sanitize="$2" label="$3"; shift 3
+  echo "==== ${label} ===="
+  cmake -B "${dir}" -S . -DCTXPREF_SANITIZE="${sanitize}" > /dev/null
+  cmake --build "${dir}" -j "${JOBS}" -- --no-print-directory \
+    | grep -E "error|warning" || true
+  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" "$@")
+}
+
+# Tier-1: the full suite in the plain tree.
+configure_and_test build "" "tier-1 (no sanitizer)"
+
+if [[ "${RUN_ASAN}" == 1 ]]; then
+  # Address + undefined-behavior sanitizers over the full suite.
+  configure_and_test build-asan "address,undefined" "tier-1 under ASan+UBSan"
+fi
+
+if [[ "${RUN_TSAN}" == 1 ]]; then
+  # ThreadSanitizer over the tests that exercise real concurrency:
+  # the resilient-source chaos tests and the cache/rank stress tests.
+  configure_and_test build-tsan "thread" "concurrency tests under TSan" \
+    -R "resilient_source|query_cache_concurrent"
+fi
+
+echo "==== all checks passed ===="

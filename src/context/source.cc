@@ -1,6 +1,61 @@
 #include "context/source.h"
 
+#include <cstdio>
+
 namespace ctxpref {
+
+const char* ReadProvenanceToString(ReadProvenance p) {
+  switch (p) {
+    case ReadProvenance::kFresh:
+      return "fresh";
+    case ReadProvenance::kRetried:
+      return "retried";
+    case ReadProvenance::kStale:
+      return "stale";
+    case ReadProvenance::kStaleLifted:
+      return "stale-lifted";
+    case ReadProvenance::kBreakerOpen:
+      return "breaker-open";
+    case ReadProvenance::kAbsent:
+      return "absent";
+  }
+  return "unknown";
+}
+
+std::string SourceReadInfo::ToString() const {
+  std::string out = ReadProvenanceToString(provenance);
+  if (provenance == ReadProvenance::kStaleLifted ||
+      (provenance == ReadProvenance::kBreakerOpen && lifted_levels > 0)) {
+    out += "-" + std::to_string(lifted_levels);
+  }
+  if (provenance == ReadProvenance::kRetried) {
+    out += " x" + std::to_string(attempts);
+  }
+  if (age_micros > 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " (age %.1fs)",
+                  static_cast<double>(age_micros) / 1e6);
+    out += buf;
+  }
+  if (!error.ok()) {
+    out += " [" + error.ToString() + "]";
+  }
+  return out;
+}
+
+StatusOr<ValueRef> ContextSource::ReadWithInfo(SourceReadInfo* info) {
+  StatusOr<ValueRef> reading = Read();
+  if (info != nullptr) {
+    *info = SourceReadInfo{};
+    if (reading.ok()) {
+      info->provenance = ReadProvenance::kFresh;
+    } else {
+      info->provenance = ReadProvenance::kAbsent;
+      info->error = reading.status();
+    }
+  }
+  return reading;
+}
 
 StatusOr<ValueRef> NoisySensorSource::Read() {
   if (rng_.Bernoulli(dropout_)) {
@@ -18,6 +73,35 @@ StatusOr<ValueRef> NoisySensorSource::Read() {
     v = h.Anc(v, static_cast<LevelIndex>(v.level + up));
   }
   return v;
+}
+
+size_t SnapshotReport::degraded_count() const {
+  size_t n = 0;
+  for (const ParameterAcquisition& p : params) {
+    if (!p.has_source) continue;
+    if (p.info.provenance != ReadProvenance::kFresh &&
+        p.info.provenance != ReadProvenance::kRetried) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+bool SnapshotReport::fully_fresh() const { return degraded_count() == 0; }
+
+std::string SnapshotReport::ToString(const ContextEnvironment& env) const {
+  std::string out = state.ToString(env) + "\n";
+  for (const ParameterAcquisition& p : params) {
+    out += "  " + env.parameter(p.param_index).name() + " = " +
+           env.parameter(p.param_index).hierarchy().value_name(p.value);
+    if (p.has_source) {
+      out += " [" + p.info.ToString() + "]";
+    } else {
+      out += " [no source]";
+    }
+    out += "\n";
+  }
+  return out;
 }
 
 Status CurrentContext::AddSource(std::unique_ptr<ContextSource> source) {
@@ -39,22 +123,79 @@ Status CurrentContext::AddSource(std::unique_ptr<ContextSource> source) {
 }
 
 StatusOr<ContextState> CurrentContext::Snapshot() {
-  ContextState state = ContextState::AllState(*env_);
+  return SnapshotWithReport().state;
+}
+
+SnapshotReport CurrentContext::SnapshotWithReport() {
+  SnapshotReport report;
+  report.state = ContextState::AllState(*env_);
+  report.params.resize(env_->size());
+  for (size_t i = 0; i < env_->size(); ++i) {
+    report.params[i].param_index = i;
+    report.params[i].value = env_->parameter(i).hierarchy().AllValue();
+    report.params[i].info.provenance = ReadProvenance::kAbsent;
+    report.params[i].info.attempts = 0;
+  }
+
   for (const auto& source : sources_) {
-    StatusOr<ValueRef> reading = source->Read();
-    if (!reading.ok()) {
-      if (reading.status().IsNotFound()) continue;  // Degrade to 'all'.
-      return reading.status();
-    }
     const size_t param = source->param_index();
-    if (!env_->parameter(param).hierarchy().Contains(*reading)) {
-      return Status::InvalidArgument(
+    ParameterAcquisition& acq = report.params[param];
+    acq.has_source = true;
+
+    counters_.AddReads();
+    StatusOr<ValueRef> reading = source->ReadWithInfo(&acq.info);
+    counters_.AddAttempts(acq.info.attempts);
+    if (!acq.info.error.ok()) counters_.AddErrors();
+
+    if (reading.ok() &&
+        !env_->parameter(param).hierarchy().Contains(*reading)) {
+      // A sensor reporting garbage must not take down query serving:
+      // degrade this one parameter to `all` and keep the evidence.
+      acq.info.provenance = ReadProvenance::kAbsent;
+      acq.info.error = Status::InvalidArgument(
           "source for parameter '" + env_->parameter(param).name() +
           "' produced a value outside its extended domain");
+      counters_.AddErrors();
+      reading = acq.info.error;
     }
-    state.set_value(param, *reading);
+
+    if (reading.ok()) {
+      acq.value = *reading;
+      report.state.set_value(param, *reading);
+    } else {
+      // Unavailable (or broken) source: the parameter stays `all`.
+      if (acq.info.error.ok()) acq.info.error = reading.status();
+      if (acq.info.provenance == ReadProvenance::kFresh ||
+          acq.info.provenance == ReadProvenance::kRetried) {
+        acq.info.provenance = ReadProvenance::kAbsent;
+      }
+      acq.value = env_->parameter(param).hierarchy().AllValue();
+    }
+
+    switch (acq.info.provenance) {
+      case ReadProvenance::kFresh:
+        counters_.AddFresh();
+        break;
+      case ReadProvenance::kRetried:
+        counters_.AddRetried();
+        break;
+      case ReadProvenance::kStale:
+        counters_.AddStale();
+        break;
+      case ReadProvenance::kStaleLifted:
+        counters_.AddStaleLifted();
+        counters_.AddLiftedLevels(acq.info.lifted_levels);
+        break;
+      case ReadProvenance::kBreakerOpen:
+        counters_.AddBreakerOpen();
+        counters_.AddLiftedLevels(acq.info.lifted_levels);
+        break;
+      case ReadProvenance::kAbsent:
+        counters_.AddAbsent();
+        break;
+    }
   }
-  return state;
+  return report;
 }
 
 }  // namespace ctxpref

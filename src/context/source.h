@@ -1,12 +1,15 @@
 #ifndef CTXPREF_CONTEXT_SOURCE_H_
 #define CTXPREF_CONTEXT_SOURCE_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "context/environment.h"
 #include "context/state.h"
+#include "util/counters.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -19,6 +22,42 @@ namespace ctxpref {
 /// higher level of the hierarchy" — which these sources model
 /// directly: a source reports a `ValueRef` at whatever level its
 /// accuracy supports, and an unavailable source falls back to `all`.
+
+/// How a parameter's value was obtained — the degradation ladder of
+/// `ResilientSource` (fresh → retried → stale → stale-lifted-k →
+/// breaker-open → absent). Plain sources only ever report kFresh or
+/// kAbsent.
+enum class ReadProvenance {
+  kFresh,        ///< First-attempt reading straight from the backend.
+  kRetried,      ///< Reading obtained after >= 1 retry.
+  kStale,        ///< Last-known-good served within its TTL.
+  kStaleLifted,  ///< Last-known-good lifted >= 1 hierarchy level via Anc.
+  kBreakerOpen,  ///< Breaker open: served degraded without probing.
+  kAbsent,       ///< Nothing available: the parameter takes `all`.
+};
+
+const char* ReadProvenanceToString(ReadProvenance p);
+
+/// Diagnostics accompanying one source read: why the returned value is
+/// what it is. Filled by `ContextSource::ReadWithInfo`.
+struct SourceReadInfo {
+  ReadProvenance provenance = ReadProvenance::kFresh;
+  /// Backend read attempts made for this read (0 when the breaker
+  /// short-circuited, 1 for a plain read, > 1 after retries).
+  uint32_t attempts = 1;
+  /// Staleness-ladder steps applied on top of the last-known-good
+  /// level (stale paths only).
+  LevelIndex lifted_levels = 0;
+  /// Age of the served value (stale paths only), in clock microseconds.
+  int64_t age_micros = 0;
+  /// Last backend error observed while producing this read (OK for an
+  /// untroubled fresh read).
+  Status error;
+
+  /// "fresh", "retried x3", "stale-lifted-2 (age 12.5s)", ...
+  std::string ToString() const;
+};
+
 class ContextSource {
  public:
   virtual ~ContextSource() = default;
@@ -27,8 +66,14 @@ class ContextSource {
   virtual size_t param_index() const = 0;
 
   /// Current reading. NotFound = currently unavailable (the manager
-  /// substitutes `all`); other errors propagate.
+  /// substitutes `all`); other errors are treated the same way by
+  /// `CurrentContext` but are preserved in the snapshot report.
   virtual StatusOr<ValueRef> Read() = 0;
+
+  /// `Read` plus provenance. The default adapter maps OK to kFresh and
+  /// any error to kAbsent; resilient decorators override this with the
+  /// full ladder. `info` may be null.
+  virtual StatusOr<ValueRef> ReadWithInfo(SourceReadInfo* info);
 };
 
 /// A source pinned to a fixed value — for tests, demos and manual
@@ -78,9 +123,40 @@ class NoisySensorSource : public ContextSource {
   Rng rng_;
 };
 
+/// How one parameter of a snapshot was acquired.
+struct ParameterAcquisition {
+  size_t param_index = 0;
+  bool has_source = false;  ///< False: parameter had no registered source.
+  ValueRef value;           ///< The value used in the state.
+  SourceReadInfo info;      ///< Provenance; kAbsent when sourceless.
+};
+
+/// A snapshot plus the story of how each parameter was obtained — the
+/// traceability `explain` surfaces when a context state is coarser
+/// than the user expects.
+struct SnapshotReport {
+  ContextState state;
+  /// One entry per environment parameter, in parameter order.
+  std::vector<ParameterAcquisition> params;
+
+  /// Parameters served from anything but a live backend reading
+  /// (stale, lifted, breaker-open, or absent despite having a source).
+  size_t degraded_count() const;
+  /// True iff every sourced parameter was served fresh or retried.
+  bool fully_fresh() const;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString(const ContextEnvironment& env) const;
+};
+
 /// Assembles the current context state from per-parameter sources.
 /// Parameters without a source (or whose source is unavailable) take
 /// the value `all` — exactly the paper's "absent parameter" semantics.
+///
+/// Snapshotting *never* fails because a source does: a source error or
+/// out-of-domain reading degrades that one parameter to `all` and is
+/// recorded in the report, so one bad sensor cannot take down query
+/// serving. Aggregate acquisition health is ticked into `counters()`.
 class CurrentContext {
  public:
   explicit CurrentContext(EnvironmentPtr env) : env_(std::move(env)) {}
@@ -89,16 +165,24 @@ class CurrentContext {
   /// parameter (AlreadyExists otherwise).
   Status AddSource(std::unique_ptr<ContextSource> source);
 
-  /// Reads every source and builds the current state. Unavailable
-  /// sources degrade to `all`; invalid readings (values outside the
-  /// parameter's domain) are InvalidArgument.
+  /// Reads every source and builds the current state. Kept as
+  /// `StatusOr` for API stability; with the degradation semantics
+  /// above it only errors on internal invariant violations.
   StatusOr<ContextState> Snapshot();
 
+  /// Like `Snapshot`, but also reports per-parameter provenance.
+  SnapshotReport SnapshotWithReport();
+
   const ContextEnvironment& env() const { return *env_; }
+
+  /// Aggregate acquisition counters across all snapshots.
+  const AcquisitionCounters& counters() const { return counters_; }
+  AcquisitionCounters& counters() { return counters_; }
 
  private:
   EnvironmentPtr env_;
   std::vector<std::unique_ptr<ContextSource>> sources_;
+  AcquisitionCounters counters_;
 };
 
 }  // namespace ctxpref

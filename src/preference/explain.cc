@@ -44,4 +44,40 @@ std::string ExplainTupleText(const QueryResult& result,
   return out;
 }
 
+std::string ExplainAcquisition(const ContextEnvironment& env,
+                               const SnapshotReport& report) {
+  std::string out = "query context " + report.state.ToString(env);
+  if (report.fully_fresh()) {
+    out += " (all parameters fresh)\n";
+  } else {
+    out += " (" + std::to_string(report.degraded_count()) + " degraded)\n";
+  }
+  for (const ParameterAcquisition& p : report.params) {
+    const ContextParameter& param = env.parameter(p.param_index);
+    out += "  " + param.name() + " = " +
+           param.hierarchy().value_name(p.value) + ": ";
+    if (!p.has_source) {
+      out += "no source registered, defaulted to all";
+    } else {
+      out += p.info.ToString();
+      switch (p.info.provenance) {
+        case ReadProvenance::kStaleLifted:
+          out += ", lifted " + std::to_string(p.info.lifted_levels) +
+                 " level(s) toward all while the backend recovers";
+          break;
+        case ReadProvenance::kBreakerOpen:
+          out += ", circuit breaker open; backend not probed";
+          break;
+        case ReadProvenance::kAbsent:
+          out += ", no usable reading, defaulted to all";
+          break;
+        default:
+          break;
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
 }  // namespace ctxpref

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "context/source.h"
 #include "preference/contextual_query.h"
 
 namespace ctxpref {
@@ -40,6 +41,16 @@ std::vector<Contribution> ExplainTuple(const QueryResult& result,
 std::string ExplainTupleText(const QueryResult& result,
                              const db::Relation& relation,
                              const ContextEnvironment& env, db::RowId row);
+
+/// Why the *query context itself* looks the way it does: renders a
+/// `SnapshotReport` (see `context/source.h`) parameter by parameter —
+/// fresh / retried / stale-lifted-k / breaker-open / absent — so a
+/// user puzzled by coarse recommendations can see that e.g. the
+/// weather sensor has been down for a minute and its last reading was
+/// lifted to `good`. Complements `ExplainTupleText`, which explains
+/// the ranking given the context.
+std::string ExplainAcquisition(const ContextEnvironment& env,
+                               const SnapshotReport& report);
 
 }  // namespace ctxpref
 

@@ -119,4 +119,23 @@ StatusOr<ProfileStore> ProfileStore::LoadDir(EnvironmentPtr env,
   return store;
 }
 
+Status ProfileStore::ReloadUser(const std::string& user_id,
+                                const std::string& dir) {
+  auto it = users_.find(user_id);
+  if (it == users_.end()) {
+    return Status::NotFound("no user '" + user_id + "'");
+  }
+  // Parse fully before touching the live profile: any Load error
+  // returns here with the in-memory state unchanged.
+  StatusOr<Profile> loaded =
+      ReadProfileFile(env_, dir + "/" + user_id + ".profile");
+  if (!loaded.ok()) return loaded.status();
+  // Swap contents in place so pointers handed out by GetProfile stay
+  // valid. Drop the cached tree outright: the loaded profile's version
+  // counter restarts and could collide with the cached one.
+  *it->second.profile = std::move(*loaded);
+  it->second.tree.reset();
+  return Status::OK();
+}
+
 }  // namespace ctxpref::storage

@@ -62,6 +62,14 @@ class ProfileStore {
   static StatusOr<ProfileStore> LoadDir(EnvironmentPtr env,
                                         const std::string& dir);
 
+  /// Re-reads `<dir>/<user_id>.profile` and replaces the user's
+  /// in-memory profile with the file's contents. Atomic with respect
+  /// to failure: the file is parsed and validated *before* the swap,
+  /// so a missing, corrupt, or mismatched file leaves the current
+  /// profile (and any `GetProfile` pointer) untouched and serving.
+  /// NotFound for unknown users.
+  Status ReloadUser(const std::string& user_id, const std::string& dir);
+
  private:
   struct User {
     std::unique_ptr<Profile> profile;

@@ -21,6 +21,8 @@ enum class StatusCode {
   kCorruption,     ///< Malformed serialized profile / descriptor text.
   kUnimplemented,
   kInternal,
+  kUnavailable,        ///< Transient backend failure (sensor, breaker open).
+  kDeadlineExceeded,   ///< Operation exceeded its per-call deadline.
 };
 
 /// Returns a short human-readable name for `code` ("Ok", "Conflict", ...).
@@ -68,6 +70,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -81,6 +89,10 @@ class Status {
   bool IsConflict() const { return code_ == StatusCode::kConflict; }
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// "Ok" or "<Code>: <message>".
   std::string ToString() const;

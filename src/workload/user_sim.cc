@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "context/resilient_source.h"
 #include "preference/contextual_query.h"
 #include "preference/profile_tree.h"
 #include "preference/resolution.h"
@@ -180,6 +181,7 @@ struct EditStats {
 double CalibratedTypeScore(const GroundTruth& gt, size_t type_idx,
                            double companion_marginal_affinity) {
   (void)gt;
+  (void)type_idx;
   return 0.55 * companion_marginal_affinity + 0.35 * 0.5 + 0.1 * 0.7;
 }
 
@@ -321,12 +323,19 @@ size_t TieExtendedPrefix(size_t k, size_t n, GetScore score) {
 /// top-20 that also appears in the user's top-20. Accordingly the
 /// ground truth re-ranks the query's result pool (every tuple any
 /// applicable preference scored), not the whole database.
+///
+/// `query` is what the *system* sees (possibly a degraded sensor
+/// acquisition); `truth` is the context the user actually stands in —
+/// their ranking is always relative to the real world, which is how
+/// degraded sensing costs precision. With perfect sensing both are the
+/// same state.
 /// Returns negative if the system answer is empty (sample skipped).
 StatusOr<double> QueryPrecision(const GroundTruth& gt,
                                 const ContextEnvironment& env,
                                 const db::Relation& relation,
                                 const TreeResolver& resolver,
-                                const ContextState& query, DistanceKind kind,
+                                const ContextState& query,
+                                const ContextState& truth, DistanceKind kind,
                                 size_t k) {
   StatusOr<CompositeDescriptor> cod = DescriptorForState(env, query);
   if (!cod.ok()) return cod.status();
@@ -357,7 +366,7 @@ StatusOr<double> QueryPrecision(const GroundTruth& gt,
   std::vector<std::pair<double, db::RowId>> user_ranked;
   user_ranked.reserve(pool.size());
   for (const db::ScoredTuple& t : pool) {
-    const double s = gt.Score(env, relation, t.row_id, query);
+    const double s = gt.Score(env, relation, t.row_id, truth);
     user_ranked.emplace_back(std::round(s * 10.0) / 10.0, t.row_id);
   }
   std::sort(user_ranked.begin(), user_ranked.end(),
@@ -419,6 +428,50 @@ StatusOr<std::vector<UserStudyRow>> RunUserStudy(
     TreeResolver resolver(&*tree);
     SequentialStore store = SequentialStore::Build(*profile);
 
+    // ---- Sensed-context rig (engaged only under dropout) ----
+    // The system does not get the query state for free: each parameter
+    // is read through a ResilientSource wrapping a flaky sensor that
+    // tracks the user's true context. Failed reads retry, then serve
+    // the previous query's value (stale), lifting it toward `all` as
+    // it ages on the fake clock.
+    FakeClock clock;
+    CurrentContext sensed(poi->env);
+    std::vector<NoisySensorSource*> sensors;
+    if (config.sensor_dropout > 0.0) {
+      SourcePolicy policy;
+      policy.max_attempts = 2;
+      policy.backoff_initial_micros = 1'000;
+      policy.failure_threshold = 8;
+      policy.open_cooldown_micros = 3'000'000;
+      policy.stale_ttl_micros = 2'000'000;
+      policy.lift_window_micros = 2'000'000;
+      for (size_t pi = 0; pi < env.size(); ++pi) {
+        auto sensor = std::make_unique<NoisySensorSource>(
+            env, pi, env.parameter(pi).hierarchy().AllValue(),
+            /*coarseness=*/0.0, config.sensor_dropout,
+            user_seed ^ (0x9e3779b97f4a7c15ull * (pi + 1)));
+        sensors.push_back(sensor.get());
+        CTXPREF_RETURN_IF_ERROR(sensed.AddSource(
+            std::make_unique<ResilientSource>(env, std::move(sensor), policy,
+                                              &clock, user_seed + pi)));
+      }
+    }
+    uint64_t degraded_params = 0;
+    uint64_t sensed_queries = 0;
+    // Acquires the system's view of `truth`: points the sensors at it,
+    // lets a second of fake time pass, and snapshots through the rig.
+    auto Sense = [&](const ContextState& truth) {
+      if (sensors.empty()) return truth;
+      for (size_t i = 0; i < sensors.size(); ++i) {
+        sensors[i]->set_true_value(truth.value(i));
+      }
+      clock.Advance(1'000'000);
+      SnapshotReport report = sensed.SnapshotWithReport();
+      degraded_params += report.degraded_count();
+      ++sensed_queries;
+      return report.state;
+    };
+
     // ---- Sample queries per class and measure precision ----
     // Class 0: exact match — queries drawn from stored states.
     // Class 1: exactly one covering state (and no exact match).
@@ -431,8 +484,9 @@ StatusOr<std::vector<UserStudyRow>> RunUserStudy(
          attempts < 2000 && counts[0] < config.queries_per_class;
          ++attempts) {
       ContextState q = workload::ExactQuery(*profile, rng);
+      ContextState sq = Sense(q);
       StatusOr<double> pct =
-          QueryPrecision(gt, env, poi->relation, resolver, q,
+          QueryPrecision(gt, env, poi->relation, resolver, sq, q,
                          DistanceKind::kHierarchy, config.top_k);
       if (!pct.ok()) return pct.status();
       if (*pct < 0.0) continue;
@@ -452,8 +506,9 @@ StatusOr<std::vector<UserStudyRow>> RunUserStudy(
       const size_t cls = covers == 1 ? 1 : 2;
       if (counts[cls] >= config.queries_per_class) continue;
 
+      ContextState sq = Sense(q);
       StatusOr<double> hier =
-          QueryPrecision(gt, env, poi->relation, resolver, q,
+          QueryPrecision(gt, env, poi->relation, resolver, sq, q,
                          DistanceKind::kHierarchy, config.top_k);
       if (!hier.ok()) return hier.status();
       if (*hier < 0.0) continue;
@@ -462,7 +517,7 @@ StatusOr<std::vector<UserStudyRow>> RunUserStudy(
         ++counts[1];
       } else {
         StatusOr<double> jacc =
-            QueryPrecision(gt, env, poi->relation, resolver, q,
+            QueryPrecision(gt, env, poi->relation, resolver, sq, q,
                            DistanceKind::kJaccard, config.top_k);
         if (!jacc.ok()) return jacc.status();
         if (*jacc < 0.0) continue;
@@ -476,6 +531,11 @@ StatusOr<std::vector<UserStudyRow>> RunUserStudy(
     row.one_cover_pct = counts[1] > 0 ? sums[1] / counts[1] : -1.0;
     row.multi_cover_hierarchy_pct = counts[2] > 0 ? sums[2] / counts[2] : -1.0;
     row.multi_cover_jaccard_pct = counts[3] > 0 ? sums[3] / counts[3] : -1.0;
+    row.degraded_param_pct =
+        sensed_queries > 0
+            ? 100.0 * static_cast<double>(degraded_params) /
+                  static_cast<double>(sensed_queries * env.size())
+            : 0.0;
     rows.push_back(row);
   }
   return rows;

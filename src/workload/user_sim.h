@@ -69,6 +69,10 @@ struct UserStudyRow {
   double one_cover_pct = 0.0;
   double multi_cover_hierarchy_pct = 0.0;
   double multi_cover_jaccard_pct = 0.0;
+  /// Share (percent) of sensed parameters served degraded — stale,
+  /// lifted, breaker-open, or absent — across this user's queries.
+  /// Zero when `sensor_dropout` is 0 (perfect sensing, no rig).
+  double degraded_param_pct = 0.0;
 };
 
 struct UserStudyConfig {
@@ -77,6 +81,13 @@ struct UserStudyConfig {
   size_t queries_per_class = 20;
   size_t top_k = 20;
   uint64_t seed = 2026;
+  /// Probability that one backend sensor read fails. When > 0, the
+  /// *implicit* query context (§4.1) is acquired through a
+  /// `ResilientSource` rig — retries, last-known-good, hierarchy
+  /// lifting — so the system may query a coarser or staler state than
+  /// the ground truth's, and precision reflects the gap. 0 keeps the
+  /// historical perfect-sensing behavior bit-for-bit.
+  double sensor_dropout = 0.0;
 };
 
 /// Runs the simulated study end to end and returns one row per user.

@@ -113,6 +113,23 @@ TEST_F(ExplainTest, NoContributionForForeignTuple) {
             std::string::npos);
 }
 
+TEST_F(ExplainTest, AcquisitionTextNamesDegradedParameters) {
+  CurrentContext ctx(env_);
+  const Hierarchy& loc = env_->parameter(0).hierarchy();
+  ASSERT_OK(ctx.AddSource(
+      std::make_unique<StaticSource>(0, *loc.FindAnyLevel("Plaka"))));
+  // Parameter 1 reads out of domain, parameter 2 has no source.
+  ASSERT_OK(
+      ctx.AddSource(std::make_unique<StaticSource>(1, ValueRef{0, 9999})));
+  SnapshotReport report = ctx.SnapshotWithReport();
+  std::string text = ExplainAcquisition(*env_, report);
+  EXPECT_NE(text.find("(Plaka, all, all)"), std::string::npos);
+  EXPECT_NE(text.find("1 degraded"), std::string::npos);
+  EXPECT_NE(text.find("location = Plaka: fresh"), std::string::npos);
+  EXPECT_NE(text.find("no usable reading"), std::string::npos);
+  EXPECT_NE(text.find("no source registered"), std::string::npos);
+}
+
 TEST_F(ExplainTest, OutOfRangeRowYieldsEmpty) {
   Profile p(env_);
   QueryResult result = RunQuery(p, "temperature = hot");

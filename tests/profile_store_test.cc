@@ -144,5 +144,82 @@ TEST_F(ProfileStoreTest, LoadDirIgnoresOtherFiles) {
   fs::remove_all(dir);
 }
 
+TEST_F(ProfileStoreTest, ReloadUserPicksUpOnDiskChanges) {
+  namespace fs = std::filesystem;
+  const std::string dir = ::testing::TempDir() + "/ctxpref_store_reload";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  ProfileStore store(env_);
+  ASSERT_OK(store.CreateUser("alice"));
+  StatusOr<Profile*> alice = store.GetProfile("alice");
+  ASSERT_OK(
+      (*alice)->Insert(Pref(*env_, "location = Plaka", "name", "X", 0.5)));
+  ASSERT_OK(store.SaveAll(dir));
+
+  // Another store (a "second server") edits alice's file on disk.
+  {
+    StatusOr<ProfileStore> other = ProfileStore::LoadDir(env_, dir);
+    ASSERT_OK(other.status());
+    StatusOr<Profile*> p = other->GetProfile("alice");
+    ASSERT_OK(
+        (*p)->Insert(Pref(*env_, "location = Athens", "name", "Y", 0.7)));
+    ASSERT_OK(other->SaveAll(dir));
+  }
+
+  ASSERT_OK(store.ReloadUser("alice", dir));
+  // The pointer handed out before the reload still serves.
+  EXPECT_EQ((*alice)->size(), 2u);
+  StatusOr<const ProfileTree*> tree = store.GetTree("alice");
+  ASSERT_OK(tree.status());
+  EXPECT_EQ((*tree)->PathCount(), 2u);
+
+  EXPECT_TRUE(store.ReloadUser("nobody", dir).IsNotFound());
+  fs::remove_all(dir);
+}
+
+TEST_F(ProfileStoreTest, FailedReloadLeavesProfileServing) {
+  namespace fs = std::filesystem;
+  const std::string dir = ::testing::TempDir() + "/ctxpref_store_reload_bad";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  ProfileStore store(env_);
+  ASSERT_OK(store.CreateUser("alice"));
+  StatusOr<Profile*> alice = store.GetProfile("alice");
+  ASSERT_OK(
+      (*alice)->Insert(Pref(*env_, "location = Plaka", "name", "X", 0.5)));
+  const std::string before = (*alice)->ToText();
+  ASSERT_OK(store.SaveAll(dir));
+  StatusOr<const ProfileTree*> tree_before = store.GetTree("alice");
+  ASSERT_OK(tree_before.status());
+
+  // Missing file: reload fails, nothing changes.
+  fs::remove(dir + "/alice.profile");
+  EXPECT_FALSE(store.ReloadUser("alice", dir).ok());
+  EXPECT_EQ((*alice)->ToText(), before);
+
+  // Corrupt file: parse fails *before* the swap, so the in-memory
+  // profile — and the tree built from it — keep serving.
+  {
+    std::ofstream bad(dir + "/alice.profile", std::ios::binary);
+    bad << "this is definitely not the binary profile format";
+  }
+  EXPECT_FALSE(store.ReloadUser("alice", dir).ok());
+  EXPECT_EQ((*alice)->ToText(), before);
+  StatusOr<const ProfileTree*> tree_after = store.GetTree("alice");
+  ASSERT_OK(tree_after.status());
+  EXPECT_EQ((*tree_after)->PathCount(), 1u);
+
+  // Truncated-but-valid-header file: also rejected atomically.
+  {
+    StatusOr<ProfileStore> fresh = ProfileStore::LoadDir(env_, dir);
+    // Regardless of how LoadDir reacts, the original store is intact.
+    EXPECT_EQ((*store.GetProfile("alice"))->ToText(), before);
+    (void)fresh;
+  }
+  fs::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace ctxpref::storage

@@ -59,11 +59,55 @@ TEST_F(SourceTest, AddSourceValidates) {
                   .IsAlreadyExists());
 }
 
-TEST_F(SourceTest, SnapshotRejectsOutOfDomainReading) {
+TEST_F(SourceTest, OutOfDomainReadingDegradesThatParameterOnly) {
+  // One bad sensor must not take down query serving: the broken
+  // parameter degrades to `all` with the error preserved in the
+  // report, while healthy parameters still deliver.
   CurrentContext ctx(env_);
   ASSERT_OK(
       ctx.AddSource(std::make_unique<StaticSource>(0, ValueRef{0, 9999})));
-  EXPECT_TRUE(ctx.Snapshot().status().IsInvalidArgument());
+  ASSERT_OK(ctx.AddSource(std::make_unique<StaticSource>(1, Temp("warm"))));
+  SnapshotReport report = ctx.SnapshotWithReport();
+  EXPECT_EQ(report.state, State(*env_, {"all", "warm", "all"}));
+  EXPECT_EQ(report.params[0].info.provenance, ReadProvenance::kAbsent);
+  EXPECT_TRUE(report.params[0].info.error.IsInvalidArgument());
+  EXPECT_EQ(report.params[1].info.provenance, ReadProvenance::kFresh);
+  EXPECT_EQ(report.degraded_count(), 1u);
+
+  StatusOr<ContextState> state = ctx.Snapshot();
+  ASSERT_OK(state.status());
+  EXPECT_EQ(*state, State(*env_, {"all", "warm", "all"}));
+}
+
+TEST_F(SourceTest, NonNotFoundSourceErrorDegradesInsteadOfFailing) {
+  // Historical bug: any non-NotFound error failed the *entire*
+  // snapshot. Now it degrades the one parameter and is reported.
+  class BrokenSource : public ContextSource {
+   public:
+    explicit BrokenSource(size_t param) : param_(param) {}
+    size_t param_index() const override { return param_; }
+    StatusOr<ValueRef> Read() override {
+      return Status::Internal("sensor firmware crashed");
+    }
+
+   private:
+    size_t param_;
+  };
+  CurrentContext ctx(env_);
+  ASSERT_OK(ctx.AddSource(std::make_unique<BrokenSource>(0)));
+  ASSERT_OK(ctx.AddSource(std::make_unique<StaticSource>(1, Temp("warm"))));
+  SnapshotReport report = ctx.SnapshotWithReport();
+  EXPECT_EQ(report.state, State(*env_, {"all", "warm", "all"}));
+  EXPECT_EQ(report.params[0].info.provenance, ReadProvenance::kAbsent);
+  EXPECT_EQ(report.params[0].info.error.code(), StatusCode::kInternal);
+  StatusOr<ContextState> state = ctx.Snapshot();
+  ASSERT_OK(state.status());
+
+  const AcquisitionStats stats = ctx.counters().Snapshot();
+  EXPECT_EQ(stats.reads, 4u);  // 2 snapshots x 2 sources.
+  EXPECT_EQ(stats.absent, 2u);
+  EXPECT_EQ(stats.fresh, 2u);
+  EXPECT_EQ(stats.errors, 2u);
 }
 
 TEST_F(SourceTest, NoisySensorAlwaysCoversTruth) {

@@ -107,6 +107,33 @@ TEST_F(ProfileIoTest, ChecksumCatchesEveryFlippedByte) {
   }
 }
 
+TEST_F(ProfileIoTest, ExhaustiveByteFlipSweepFailsCleanly) {
+  // Exhaustive single-byte corruption: every position, three masks
+  // (low bit, high bit, full invert). Whatever the damage — magic,
+  // lengths, counts, payload, or the checksum itself — Load must fail
+  // *cleanly* with Corruption or InvalidArgument, never crash, hang,
+  // or return a profile.
+  Profile p(env_);
+  ASSERT_OK(p.Insert(Pref(*env_, "location = Plaka", "name", "A", 0.8)));
+  ASSERT_OK(p.Insert(Pref(*env_, "*", "type", "museum", 0.6)));
+  const std::string bytes = SerializeProfile(p);
+  ASSERT_OK(DeserializeProfile(env_, bytes).status());
+
+  for (size_t pos = 0; pos < bytes.size(); ++pos) {
+    for (unsigned char mask : {0x01, 0x80, 0xFF}) {
+      std::string corrupted = bytes;
+      corrupted[pos] = static_cast<char>(corrupted[pos] ^ mask);
+      Status st = DeserializeProfile(env_, corrupted).status();
+      ASSERT_FALSE(st.ok())
+          << "flip of byte " << pos << " with mask " << int(mask)
+          << " went undetected";
+      ASSERT_TRUE(st.IsCorruption() || st.IsInvalidArgument())
+          << "flip of byte " << pos << " with mask " << int(mask)
+          << " produced unexpected status " << st.ToString();
+    }
+  }
+}
+
 TEST_F(ProfileIoTest, RejectsForeignEnvironmentValues) {
   // Serialize against the paper env, deserialize against a smaller one:
   // out-of-domain value ids must be rejected.

@@ -195,6 +195,35 @@ TEST(UserStudyTest, SmokeRunProducesSaneRows) {
   }
 }
 
+TEST(UserStudyTest, SensorDropoutDegradesGracefully) {
+  UserStudyConfig config;
+  config.num_users = 2;
+  config.num_pois = 40;
+  config.queries_per_class = 3;
+  config.seed = 77;
+  StatusOr<std::vector<UserStudyRow>> clean = RunUserStudy(config);
+  ASSERT_OK(clean.status());
+  config.sensor_dropout = 0.4;
+  StatusOr<std::vector<UserStudyRow>> flaky = RunUserStudy(config);
+  ASSERT_OK(flaky.status());
+  // Same config rerun: the rig is deterministic too.
+  StatusOr<std::vector<UserStudyRow>> flaky2 = RunUserStudy(config);
+  ASSERT_OK(flaky2.status());
+  ASSERT_EQ(flaky->size(), 2u);
+  for (size_t i = 0; i < flaky->size(); ++i) {
+    const UserStudyRow& r = (*flaky)[i];
+    // The study still completes and reports: degraded sensing costs
+    // precision, it never takes the pipeline down.
+    EXPECT_GE(r.exact_pct, 0.0);
+    EXPECT_LE(r.exact_pct, 100.0);
+    EXPECT_GT(r.degraded_param_pct, 0.0);
+    EXPECT_LE(r.degraded_param_pct, 100.0);
+    EXPECT_DOUBLE_EQ((*clean)[i].degraded_param_pct, 0.0);
+    EXPECT_DOUBLE_EQ(r.exact_pct, (*flaky2)[i].exact_pct);
+    EXPECT_DOUBLE_EQ(r.degraded_param_pct, (*flaky2)[i].degraded_param_pct);
+  }
+}
+
 TEST(UserStudyTest, Deterministic) {
   UserStudyConfig config;
   config.num_users = 2;

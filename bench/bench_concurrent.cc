@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_metrics.h"
 #include "context/parser.h"
 #include "preference/profile_tree.h"
 #include "preference/query_cache.h"
@@ -213,7 +214,11 @@ int RunRankScaling() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ctxpref::bench::MetricsFlags metrics =
+      ctxpref::bench::ParseMetricsFlags(argc, argv);
   if (int rc = RunCacheScaling(); rc != 0) return rc;
-  return RunRankScaling();
+  if (int rc = RunRankScaling(); rc != 0) return rc;
+  ctxpref::bench::DumpMetrics(metrics);
+  return 0;
 }

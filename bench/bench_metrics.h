@@ -1,0 +1,80 @@
+#ifndef CTXPREF_BENCH_BENCH_METRICS_H_
+#define CTXPREF_BENCH_BENCH_METRICS_H_
+
+// Shared --metrics plumbing for the bench binaries:
+//
+//   --metrics              enable latency timing and print both export
+//                          formats to stdout after the run
+//   --metrics_json=FILE    also write the JSON export to FILE
+//   --metrics_prom=FILE    also write the Prometheus text export to FILE
+//
+// The flags are stripped from argv so the remaining arguments can be
+// handed to google-benchmark (or ignored by the plain-main benches).
+// Passing any of the three enables `MetricsRegistry::SetTimingEnabled`,
+// so histograms fill; without them the benches measure the default
+// (timing-off) configuration, which is the overhead claim CI checks.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "util/metrics.h"
+
+namespace ctxpref {
+namespace bench {
+
+struct MetricsFlags {
+  bool enabled = false;
+  std::string json_path;
+  std::string prom_path;
+};
+
+/// Consumes the metrics flags from argv (compacting it in place and
+/// updating argc) and, when any was present, turns timing on.
+inline MetricsFlags ParseMetricsFlags(int& argc, char** argv) {
+  MetricsFlags flags;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--metrics") == 0) {
+      flags.enabled = true;
+    } else if (std::strncmp(arg, "--metrics_json=", 15) == 0) {
+      flags.enabled = true;
+      flags.json_path = arg + 15;
+    } else if (std::strncmp(arg, "--metrics_prom=", 15) == 0) {
+      flags.enabled = true;
+      flags.prom_path = arg + 15;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  if (flags.enabled) MetricsRegistry::SetTimingEnabled(true);
+  return flags;
+}
+
+/// Prints both export formats to stdout and writes the requested
+/// files. Call after the benchmark run so the registry is populated.
+inline void DumpMetrics(const MetricsFlags& flags) {
+  if (!flags.enabled) return;
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const std::string prom = reg.PrometheusText();
+  const std::string json = reg.Json();
+  std::printf("\n--- metrics (prometheus) ---\n%s", prom.c_str());
+  std::printf("\n--- metrics (json) ---\n%s\n", json.c_str());
+  if (!flags.prom_path.empty()) {
+    std::ofstream out(flags.prom_path);
+    out << prom;
+  }
+  if (!flags.json_path.empty()) {
+    std::ofstream out(flags.json_path);
+    out << json;
+  }
+}
+
+}  // namespace bench
+}  // namespace ctxpref
+
+#endif  // CTXPREF_BENCH_BENCH_METRICS_H_

@@ -5,8 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_metrics.h"
 #include "context/distance.h"
 #include "context/parser.h"
+#include "context/resilient_source.h"
 #include "preference/contextual_query.h"
 #include "preference/profile_tree.h"
 #include "preference/qualitative.h"
@@ -205,6 +207,39 @@ void BM_Winnow(benchmark::State& state) {
 }
 BENCHMARK(BM_Winnow)->Arg(100)->Arg(400);
 
+void BM_ContextSnapshot(benchmark::State& state) {
+  StatusOr<workload::PoiDatabase> poi = workload::MakePoiDatabase(50, 17);
+  // Resilient acquisition rig on a FakeClock: deterministic, no real
+  // sleeps, and the injected failure every 16th backend read walks the
+  // snapshot through retried/stale provenances, not just fresh.
+  static FakeClock clock;
+  auto fault = std::make_unique<FaultInjectingSource>(
+      0, *poi->env->parameter(0).hierarchy().FindAnyLevel("Plaka"), &clock);
+  FaultInjectingSource* fault_raw = fault.get();
+  SourcePolicy policy;
+  policy.backoff_initial_micros = 0;
+  policy.backoff_jitter = 0.0;
+  CurrentContext ctx(poi->env);
+  Status st = ctx.AddSource(std::make_unique<ResilientSource>(
+      *poi->env, std::move(fault), policy, &clock, /*seed=*/7));
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    std::abort();
+  }
+  st = ctx.AddSource(std::make_unique<StaticSource>(
+      1, poi->env->parameter(1).hierarchy().AllValue()));
+  (void)st;
+  size_t i = 0;
+  for (auto _ : state) {
+    if (i++ % 16 == 0) fault_raw->PushNotFound();
+    SnapshotReport report = ctx.SnapshotWithReport();
+    benchmark::DoNotOptimize(report.state);
+    clock.Advance(1000);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ContextSnapshot);
+
 void BM_ProfileTextRoundTrip(benchmark::State& state) {
   workload::SyntheticProfile gen = MakeProfile(500, 0.0);
   std::string text = gen.profile.ToText();
@@ -219,4 +254,15 @@ BENCHMARK(BM_ProfileTextRoundTrip);
 }  // namespace
 }  // namespace ctxpref
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() expanded by hand so the metrics flags can be
+// stripped before google-benchmark sees (and rejects) them.
+int main(int argc, char** argv) {
+  ctxpref::bench::MetricsFlags metrics =
+      ctxpref::bench::ParseMetricsFlags(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  ctxpref::bench::DumpMetrics(metrics);
+  return 0;
+}

@@ -5,7 +5,8 @@
 // places should I visit?". This example parses such disjunctive
 // descriptors from text, runs them through Rank_CS, and contrasts the
 // Hierarchy and Jaccard distances on a query with multiple covers.
-// It also demonstrates the context query tree (result caching).
+// It also demonstrates the context query tree (result caching) and the
+// observability layer: a traced query rendered as a span tree.
 //
 //   $ ./exploratory
 
@@ -13,8 +14,11 @@
 
 #include "context/parser.h"
 #include "preference/contextual_query.h"
+#include "preference/explain.h"
 #include "preference/profile_tree.h"
 #include "preference/query_cache.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 #include "workload/default_profiles.h"
 #include "workload/poi_dataset.h"
 
@@ -137,5 +141,23 @@ int main() {
               static_cast<unsigned long long>(edited.hits),
               static_cast<unsigned long long>(edited.misses),
               static_cast<unsigned long long>(edited.invalidations));
+
+  // ---- 4. Where did the time go? Trace one cached query (a warm run:
+  //         every state is served from the cache) and render the span
+  //         tree. Timing is opt-in, so latencies are zero until the
+  //         flag is set.
+  MetricsRegistry::SetTimingEnabled(true);
+  TraceRecorder recorder(/*capacity=*/256);
+  recorder.Install();
+  StatusOr<QueryResult> traced = CachedRankCS(
+      poi->relation, query, fresh_resolver, *profile, cache, options);
+  recorder.Uninstall();
+  MetricsRegistry::SetTimingEnabled(false);
+  if (!traced.ok()) {
+    std::fprintf(stderr, "traced: %s\n", traced.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nTrace of one warm cached query:\n%s",
+              ExplainTrace(recorder.Events()).c_str());
   return 0;
 }

@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
 # One-command verification: tier-1 tests plus sanitizer passes.
 #
-#   scripts/check.sh            # tier-1 (plain build) + ASan/UBSan tier-1
-#   scripts/check.sh --tsan     # also run the chaos/concurrency tests
-#                               # under ThreadSanitizer
-#   scripts/check.sh --fast     # tier-1 only, no sanitizers
+#   scripts/check.sh              # tier-1 (plain build) + ASan/UBSan tier-1
+#   scripts/check.sh --tsan       # also run the chaos/concurrency tests
+#                                 # under ThreadSanitizer
+#   scripts/check.sh --fast       # tier-1 only, no sanitizers
+#   scripts/check.sh --only-asan  # ASan/UBSan pass only (CI job)
+#   scripts/check.sh --only-tsan  # TSan pass only (CI job)
+#
+# Extra CMake configure arguments (e.g. a ccache launcher or
+# -DCTXPREF_WERROR=ON in CI) are taken from $CTXPREF_CMAKE_ARGS.
 #
 # Build trees: build/ (plain), build-asan/ (address,undefined),
 # build-tsan/ (thread). Each is configured on first use and reused.
@@ -13,12 +18,15 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
+RUN_PLAIN=1
 RUN_TSAN=0
 RUN_ASAN=1
 for arg in "$@"; do
   case "$arg" in
     --tsan) RUN_TSAN=1 ;;
     --fast) RUN_ASAN=0 ;;
+    --only-asan) RUN_PLAIN=0; RUN_ASAN=1; RUN_TSAN=0 ;;
+    --only-tsan) RUN_PLAIN=0; RUN_ASAN=0; RUN_TSAN=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -26,14 +34,30 @@ done
 configure_and_test() {
   local dir="$1" sanitize="$2" label="$3"; shift 3
   echo "==== ${label} ===="
-  cmake -B "${dir}" -S . -DCTXPREF_SANITIZE="${sanitize}" > /dev/null
+  # Word-splitting of CTXPREF_CMAKE_ARGS is intentional: it carries
+  # whole -D... arguments, none of which contain spaces.
+  # shellcheck disable=SC2086
+  cmake -B "${dir}" -S . -DCTXPREF_SANITIZE="${sanitize}" \
+    ${CTXPREF_CMAKE_ARGS:-} > /dev/null
+  # The grep below is a display filter only. Piping the build into it
+  # directly would let grep's exit status (and `|| true`) swallow a
+  # failed compile, so capture the build status explicitly and fail on
+  # it after showing the diagnostics.
+  local build_status=0
   cmake --build "${dir}" -j "${JOBS}" -- --no-print-directory \
-    | grep -E "error|warning" || true
-  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" "$@")
+    > "${dir}/check-build.log" 2>&1 || build_status=$?
+  grep -E "error|warning" "${dir}/check-build.log" || true
+  if [[ "${build_status}" -ne 0 ]]; then
+    echo "BUILD FAILED (${label}); full log: ${dir}/check-build.log" >&2
+    exit "${build_status}"
+  fi
+  (cd "${dir}" && ctest --output-on-failure --no-tests=error -j "${JOBS}" "$@")
 }
 
-# Tier-1: the full suite in the plain tree.
-configure_and_test build "" "tier-1 (no sanitizer)"
+if [[ "${RUN_PLAIN}" == 1 ]]; then
+  # Tier-1: the full suite in the plain tree.
+  configure_and_test build "" "tier-1 (no sanitizer)"
+fi
 
 if [[ "${RUN_ASAN}" == 1 ]]; then
   # Address + undefined-behavior sanitizers over the full suite.
@@ -42,9 +66,14 @@ fi
 
 if [[ "${RUN_TSAN}" == 1 ]]; then
   # ThreadSanitizer over the tests that exercise real concurrency:
-  # the resilient-source chaos tests and the cache/rank stress tests.
+  # the resilient-source chaos tests, the cache/rank stress tests, the
+  # pool tests, and the observability-layer concurrent recorders.
+  # Test IDs are CamelCase suite names (gtest_discover_tests), so the
+  # filter must match those, not source file names; --no-tests=error
+  # above turns an empty match back into a failure instead of a silent
+  # pass.
   configure_and_test build-tsan "thread" "concurrency tests under TSan" \
-    -R "resilient_source|query_cache_concurrent"
+    -R "ResilientSource|QueryCacheConcurrent|ThreadPool|Observability"
 fi
 
 echo "==== all checks passed ===="

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Advisory comparison of two google-benchmark JSON files.
+
+Usage: compare_bench.py BASELINE.json CURRENT.json
+
+Prints a per-benchmark table of real_time deltas and emits GitHub
+Actions warning annotations for benchmarks slower than the baseline by
+more than the threshold. Always exits 0: shared-runner timings are too
+noisy to gate a merge on, so regressions are surfaced, not enforced.
+"""
+
+import json
+import sys
+
+# Generous on purpose: CI runners are shared and the smoke run uses a
+# tiny --benchmark_min_time, so anything under this is likely noise.
+THRESHOLD = 0.25
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"::warning::compare_bench: cannot read {path}: {e}")
+        return None
+    out = {}
+    for b in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) if present.
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = float(b["real_time"])
+    return out
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(f"usage: {sys.argv[0]} BASELINE.json CURRENT.json")
+        return 0
+    base = load(sys.argv[1])
+    curr = load(sys.argv[2])
+    if base is None or curr is None:
+        return 0
+
+    shared = sorted(set(base) & set(curr))
+    if not shared:
+        print("::warning::compare_bench: no common benchmarks to compare")
+        return 0
+
+    width = max(len(n) for n in shared)
+    print(f"{'benchmark':<{width}} {'baseline':>12} {'current':>12} {'delta':>8}")
+    regressions = []
+    for name in shared:
+        b, c = base[name], curr[name]
+        delta = (c - b) / b if b > 0 else 0.0
+        flag = " <-- regression" if delta > THRESHOLD else ""
+        print(f"{name:<{width}} {b:>10.0f}ns {c:>10.0f}ns {delta:>+7.1%}{flag}")
+        if delta > THRESHOLD:
+            regressions.append((name, delta))
+
+    for name, delta in regressions:
+        print(
+            f"::warning::bench regression (advisory): {name} is {delta:+.1%} "
+            f"vs committed baseline (threshold {THRESHOLD:.0%})"
+        )
+    only_base = sorted(set(base) - set(curr))
+    only_curr = sorted(set(curr) - set(base))
+    if only_base:
+        print(f"missing from current run: {', '.join(only_base)}")
+    if only_curr:
+        print(f"not in baseline (consider refreshing it): {', '.join(only_curr)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

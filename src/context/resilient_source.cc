@@ -5,7 +5,24 @@
 #include <limits>
 #include <thread>
 
+#include "util/metrics.h"
+#include "util/trace.h"
+
 namespace ctxpref {
+
+namespace {
+
+/// End-to-end `ReadWithInfo` latency: includes retries, backoff sleeps
+/// and degraded serving, so its tail is dominated by the retry policy
+/// rather than the inner source.
+LatencyHistogram& ReadLatency() {
+  static LatencyHistogram* h = &MetricsRegistry::Global().GetHistogram(
+      "ctxpref_source_read_latency_ns",
+      "ResilientSource::ReadWithInfo latency incl. retries and backoff");
+  return *h;
+}
+
+}  // namespace
 
 int64_t SystemClock::NowMicros() const {
   return std::chrono::duration_cast<std::chrono::microseconds>(
@@ -156,6 +173,8 @@ StatusOr<ValueRef> ResilientSource::ServeDegraded(int64_t now,
 }
 
 StatusOr<ValueRef> ResilientSource::ReadWithInfo(SourceReadInfo* info) {
+  TraceSpan span("source.read");
+  ScopedLatency latency(&ReadLatency());
   SourceReadInfo local;
   std::lock_guard<std::mutex> lock(mu_);
   int64_t now = clock_->NowMicros();
@@ -169,6 +188,9 @@ StatusOr<ValueRef> ResilientSource::ReadWithInfo(SourceReadInfo* info) {
       StatusOr<ValueRef> served = ServeDegraded(now, /*breaker_open=*/true,
                                                 &local);
       if (info != nullptr) *info = local;
+      if (span.active()) {
+        span.Tag("provenance", ReadProvenanceToString(local.provenance));
+      }
       return served;
     }
   }
@@ -190,6 +212,10 @@ StatusOr<ValueRef> ResilientSource::ReadWithInfo(SourceReadInfo* info) {
       local.provenance = attempt > 1 ? ReadProvenance::kRetried
                                      : ReadProvenance::kFresh;
       if (info != nullptr) *info = local;
+      if (span.active()) {
+        span.Tag("provenance", ReadProvenanceToString(local.provenance));
+        span.Tag("attempts", static_cast<uint64_t>(local.attempts));
+      }
       return *a.reading;
     }
     last_error_ = a.failure;
@@ -215,6 +241,10 @@ StatusOr<ValueRef> ResilientSource::ReadWithInfo(SourceReadInfo* info) {
   StatusOr<ValueRef> served = ServeDegraded(now, /*breaker_open=*/false,
                                             &local);
   if (info != nullptr) *info = local;
+  if (span.active()) {
+    span.Tag("provenance", ReadProvenanceToString(local.provenance));
+    span.Tag("attempts", static_cast<uint64_t>(local.attempts));
+  }
   return served;
 }
 

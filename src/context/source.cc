@@ -2,7 +2,58 @@
 
 #include <cstdio>
 
+#include "util/metrics.h"
+#include "util/trace.h"
+
 namespace ctxpref {
+
+namespace {
+
+/// Registry mirror of the per-`CurrentContext` `AcquisitionCounters`:
+/// the same provenance taxonomy, but aggregated process-wide so the
+/// exported metrics answer "how degraded is context acquisition
+/// overall" without walking every `CurrentContext` instance.
+struct AcquisitionMetrics {
+  Counter& reads;
+  Counter& attempts;
+  Counter& errors;
+  Counter& fresh;
+  Counter& retried;
+  Counter& stale;
+  Counter& stale_lifted;
+  Counter& lifted_levels;
+  Counter& breaker_open;
+  Counter& absent;
+
+  static AcquisitionMetrics& Get() {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    static AcquisitionMetrics* m = new AcquisitionMetrics{
+        reg.GetCounter("ctxpref_acquisition_reads_total",
+                       "Logical source reads during context snapshots"),
+        reg.GetCounter("ctxpref_acquisition_attempts_total",
+                       "Physical read attempts including retries"),
+        reg.GetCounter("ctxpref_acquisition_errors_total",
+                       "Source reads that surfaced an error"),
+        reg.GetCounter("ctxpref_acquisition_fresh_total",
+                       "Reads served fresh on the first attempt"),
+        reg.GetCounter("ctxpref_acquisition_retried_total",
+                       "Reads served fresh after at least one retry"),
+        reg.GetCounter("ctxpref_acquisition_stale_total",
+                       "Reads served from the last-known-good value"),
+        reg.GetCounter("ctxpref_acquisition_stale_lifted_total",
+                       "Stale reads additionally lifted up the hierarchy"),
+        reg.GetCounter("ctxpref_acquisition_lifted_levels_total",
+                       "Hierarchy levels lifted across degraded reads"),
+        reg.GetCounter("ctxpref_acquisition_breaker_open_total",
+                       "Reads short-circuited by an open breaker"),
+        reg.GetCounter("ctxpref_acquisition_absent_total",
+                       "Reads with no value to serve (parameter -> all)"),
+    };
+    return *m;
+  }
+};
+
+}  // namespace
 
 const char* ReadProvenanceToString(ReadProvenance p) {
   switch (p) {
@@ -26,10 +77,12 @@ std::string SourceReadInfo::ToString() const {
   std::string out = ReadProvenanceToString(provenance);
   if (provenance == ReadProvenance::kStaleLifted ||
       (provenance == ReadProvenance::kBreakerOpen && lifted_levels > 0)) {
-    out += "-" + std::to_string(lifted_levels);
+    out += "-";
+    out += std::to_string(lifted_levels);
   }
   if (provenance == ReadProvenance::kRetried) {
-    out += " x" + std::to_string(attempts);
+    out += " x";
+    out += std::to_string(attempts);
   }
   if (age_micros > 0) {
     char buf[32];
@@ -38,7 +91,9 @@ std::string SourceReadInfo::ToString() const {
     out += buf;
   }
   if (!error.ok()) {
-    out += " [" + error.ToString() + "]";
+    out += " [";
+    out += error.ToString();
+    out += "]";
   }
   return out;
 }
@@ -127,6 +182,8 @@ StatusOr<ContextState> CurrentContext::Snapshot() {
 }
 
 SnapshotReport CurrentContext::SnapshotWithReport() {
+  AcquisitionMetrics& metrics = AcquisitionMetrics::Get();
+  TraceSpan span("context.snapshot");
   SnapshotReport report;
   report.state = ContextState::AllState(*env_);
   report.params.resize(env_->size());
@@ -143,9 +200,14 @@ SnapshotReport CurrentContext::SnapshotWithReport() {
     acq.has_source = true;
 
     counters_.AddReads();
+    metrics.reads.Increment();
     StatusOr<ValueRef> reading = source->ReadWithInfo(&acq.info);
     counters_.AddAttempts(acq.info.attempts);
-    if (!acq.info.error.ok()) counters_.AddErrors();
+    metrics.attempts.Increment(acq.info.attempts);
+    if (!acq.info.error.ok()) {
+      counters_.AddErrors();
+      metrics.errors.Increment();
+    }
 
     if (reading.ok() &&
         !env_->parameter(param).hierarchy().Contains(*reading)) {
@@ -156,6 +218,7 @@ SnapshotReport CurrentContext::SnapshotWithReport() {
           "source for parameter '" + env_->parameter(param).name() +
           "' produced a value outside its extended domain");
       counters_.AddErrors();
+      metrics.errors.Increment();
       reading = acq.info.error;
     }
 
@@ -175,25 +238,37 @@ SnapshotReport CurrentContext::SnapshotWithReport() {
     switch (acq.info.provenance) {
       case ReadProvenance::kFresh:
         counters_.AddFresh();
+        metrics.fresh.Increment();
         break;
       case ReadProvenance::kRetried:
         counters_.AddRetried();
+        metrics.retried.Increment();
         break;
       case ReadProvenance::kStale:
         counters_.AddStale();
+        metrics.stale.Increment();
         break;
       case ReadProvenance::kStaleLifted:
         counters_.AddStaleLifted();
         counters_.AddLiftedLevels(acq.info.lifted_levels);
+        metrics.stale_lifted.Increment();
+        metrics.lifted_levels.Increment(acq.info.lifted_levels);
         break;
       case ReadProvenance::kBreakerOpen:
         counters_.AddBreakerOpen();
         counters_.AddLiftedLevels(acq.info.lifted_levels);
+        metrics.breaker_open.Increment();
+        metrics.lifted_levels.Increment(acq.info.lifted_levels);
         break;
       case ReadProvenance::kAbsent:
         counters_.AddAbsent();
+        metrics.absent.Increment();
         break;
     }
+  }
+  if (span.active()) {
+    span.Tag("params", static_cast<uint64_t>(env_->size()));
+    span.Tag("degraded", static_cast<uint64_t>(report.degraded_count()));
   }
   return report;
 }

@@ -2,7 +2,27 @@
 
 #include <cmath>
 
+#include "util/metrics.h"
+#include "util/trace.h"
+
 namespace ctxpref {
+
+RankMetrics& RankMetrics::Get() {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  static RankMetrics* m = new RankMetrics{
+      reg.GetCounter("ctxpref_rank_cs_queries_total",
+                     "Plain (uncached) Rank_CS query evaluations"),
+      reg.GetCounter("ctxpref_rank_cs_cached_queries_total",
+                     "CachedRankCS query evaluations"),
+      reg.GetCounter("ctxpref_rank_cs_states_total",
+                     "Query context states evaluated across Rank_CS runs"),
+      reg.GetCounter("ctxpref_rank_cs_tuples_scored_total",
+                     "Tuples scored (ranker additions) across Rank_CS runs"),
+      reg.GetHistogram("ctxpref_rank_cs_latency_ns",
+                       "End-to-end Rank_CS latency (plain and cached)"),
+  };
+  return *m;
+}
 
 const char* ScoreDiscountToString(ScoreDiscount d) {
   switch (d) {
@@ -34,6 +54,9 @@ StatusOr<QueryResult> RankCS(const db::Relation& relation,
                              const ResolveFn& resolve,
                              const QueryOptions& options,
                              AccessCounter* counter) {
+  RankMetrics& metrics = RankMetrics::Get();
+  TraceSpan span("rank_cs");
+  ScopedLatency latency(&metrics.latency);
   QueryResult result;
   db::Ranker ranker(options.combine);
 
@@ -44,8 +67,12 @@ StatusOr<QueryResult> RankCS(const db::Relation& relation,
     states.push_back(ContextState::AllState(env));
   }
 
+  // Ticked per query, not per tuple: one relaxed add in the inner loop
+  // per scored tuple would be measurable in the benches.
+  uint64_t tuples_scored = 0;
   for (const ContextState& s : states) {
     CTXPREF_RETURN_IF_ERROR(s.Validate(env));
+    TraceSpan state_span("rank_cs.state");
     std::vector<CandidatePath> best = resolve(s, options.resolution, counter);
     for (const CandidatePath& cand : best) {
       for (const ProfileTree::LeafEntry& entry : cand.entries) {
@@ -68,6 +95,7 @@ StatusOr<QueryResult> RankCS(const db::Relation& relation,
           if (eligible) {
             ranker.Add(row, ApplyDiscount(options.discount, entry.score,
                                           cand.distance));
+            ++tuples_scored;
           }
         }
       }
@@ -77,6 +105,14 @@ StatusOr<QueryResult> RankCS(const db::Relation& relation,
 
   result.tuples =
       options.top_k > 0 ? ranker.TopK(options.top_k) : ranker.Ranked();
+  metrics.queries.Increment();
+  metrics.states.Increment(states.size());
+  metrics.tuples_scored.Increment(tuples_scored);
+  if (span.active()) {
+    span.Tag("states", static_cast<uint64_t>(states.size()));
+    span.Tag("tuples", static_cast<uint64_t>(result.tuples.size()));
+    span.Tag("scored", tuples_scored);
+  }
   return result;
 }
 

@@ -16,6 +16,22 @@
 namespace ctxpref {
 
 class ThreadPool;  // util/thread_pool.h
+class Counter;           // util/metrics.h
+class LatencyHistogram;  // util/histogram.h
+
+/// Query-path metrics shared by `RankCS` and `CachedRankCS`, living in
+/// `MetricsRegistry::Global()` (see docs/observability.md for the
+/// catalog). Counters tick unconditionally; the latency histogram
+/// records only while `MetricsRegistry::TimingEnabled()`.
+struct RankMetrics {
+  Counter& queries;         ///< ctxpref_rank_cs_queries_total
+  Counter& cached_queries;  ///< ctxpref_rank_cs_cached_queries_total
+  Counter& states;          ///< ctxpref_rank_cs_states_total
+  Counter& tuples_scored;   ///< ctxpref_rank_cs_tuples_scored_total
+  LatencyHistogram& latency;  ///< ctxpref_rank_cs_latency_ns
+
+  static RankMetrics& Get();
+};
 
 /// A contextual query CQ (paper Def. 9): a query over the database
 /// relation enhanced with an extended context descriptor. The

@@ -1,5 +1,8 @@
 #include "preference/explain.h"
 
+#include <algorithm>
+#include <unordered_map>
+
 #include "util/string_util.h"
 
 namespace ctxpref {
@@ -76,6 +79,67 @@ std::string ExplainAcquisition(const ContextEnvironment& env,
       }
     }
     out += "\n";
+  }
+  return out;
+}
+
+namespace {
+
+void RenderSpan(
+    const std::vector<TraceEvent>& events, size_t index,
+    const std::unordered_map<uint64_t, std::vector<size_t>>& children,
+    size_t depth, std::string& out) {
+  const TraceEvent& e = events[index];
+  out.append(2 * depth, ' ');
+  out += e.name;
+  out += "  " + FormatDouble(static_cast<double>(e.duration_nanos) / 1000.0,
+                             1) + "us";
+  for (const auto& [key, value] : e.tags) {
+    out += " " + key + "=" + value;
+  }
+  out += "\n";
+  auto it = children.find(e.id);
+  if (it == children.end()) return;
+  for (size_t child : it->second) {
+    RenderSpan(events, child, children, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string ExplainTrace(const std::vector<TraceEvent>& events) {
+  if (events.empty()) return "no spans recorded\n";
+  // Events arrive in completion order (spans record on destruction);
+  // rebuild the tree and render in start order instead.
+  std::unordered_map<uint64_t, size_t> by_id;
+  by_id.reserve(events.size());
+  for (size_t i = 0; i < events.size(); ++i) by_id.emplace(events[i].id, i);
+
+  std::unordered_map<uint64_t, std::vector<size_t>> children;
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (e.parent_id != 0 && by_id.count(e.parent_id) > 0) {
+      children[e.parent_id].push_back(i);
+    } else {
+      // Parent absent: recorder installed mid-query, parent evicted
+      // from the ring, or the span ran on a worker thread.
+      roots.push_back(i);
+    }
+  }
+  auto by_start = [&events](size_t a, size_t b) {
+    return events[a].start_nanos != events[b].start_nanos
+               ? events[a].start_nanos < events[b].start_nanos
+               : events[a].id < events[b].id;
+  };
+  std::sort(roots.begin(), roots.end(), by_start);
+  for (auto& [id, kids] : children) {
+    std::sort(kids.begin(), kids.end(), by_start);
+  }
+
+  std::string out;
+  for (size_t root : roots) {
+    RenderSpan(events, root, children, 0, out);
   }
   return out;
 }

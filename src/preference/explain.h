@@ -6,6 +6,7 @@
 
 #include "context/source.h"
 #include "preference/contextual_query.h"
+#include "util/trace.h"
 
 namespace ctxpref {
 
@@ -51,6 +52,18 @@ std::string ExplainTupleText(const QueryResult& result,
 /// the ranking given the context.
 std::string ExplainAcquisition(const ContextEnvironment& env,
                                const SnapshotReport& report);
+
+/// Where the time went: renders trace events (from
+/// `TraceRecorder::Events()`) as an indented span tree in start order,
+/// one line per span with its duration in microseconds and tags, e.g.:
+///   rank_cs  412.0us  states=2 tuples=17 scored=23
+///     rank_cs.state  231.4us
+///       resolve  180.2us  candidates=1
+///         resolve.search_cs  171.9us  candidates=3 distance=hierarchy
+/// Spans whose parent is missing (recorder installed mid-query, parent
+/// evicted from the ring, or span recorded on a worker thread) are
+/// rendered as roots.
+std::string ExplainTrace(const std::vector<TraceEvent>& events);
 
 }  // namespace ctxpref
 

@@ -6,9 +6,57 @@
 #include <exception>
 #include <mutex>
 
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace ctxpref {
+
+namespace {
+
+/// Global (cross-instance) cache metrics; per-shard exactness lives in
+/// `ShardStats`/`ShardLookupLatency` on each tree.
+struct CacheMetrics {
+  Counter& lookups;
+  Counter& hits;
+  Counter& misses;
+  Counter& invalidations;
+  Counter& evictions;
+  LatencyHistogram& hit_latency;
+  LatencyHistogram& miss_latency;
+  LatencyHistogram& put_latency;
+
+  static CacheMetrics& Get() {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    static CacheMetrics* m = new CacheMetrics{
+        reg.GetCounter("ctxpref_query_cache_lookups_total",
+                       "ContextQueryTree lookups (hits + misses)"),
+        reg.GetCounter("ctxpref_query_cache_hits_total",
+                       "ContextQueryTree lookup hits"),
+        reg.GetCounter("ctxpref_query_cache_misses_total",
+                       "ContextQueryTree lookup misses (incl. stale drops)"),
+        reg.GetCounter("ctxpref_query_cache_invalidations_total",
+                       "Entries dropped on touch for profile-version skew"),
+        reg.GetCounter("ctxpref_query_cache_evictions_total",
+                       "LRU evictions beyond shard capacity"),
+        reg.GetHistogram("ctxpref_query_cache_hit_latency_ns",
+                         "Lookup latency when the entry was served"),
+        reg.GetHistogram("ctxpref_query_cache_miss_latency_ns",
+                         "Lookup latency when the caller must recompute"),
+        reg.GetHistogram("ctxpref_query_cache_put_latency_ns",
+                         "Put latency including any eviction"),
+    };
+    return *m;
+  }
+};
+
+/// Lookup-path registry counters are flushed from the shard-local
+/// accumulators every this many lookups (per shard), so the hot path
+/// costs plain increments under the shard lock, not global atomic
+/// RMWs. The registry lags exact per-shard stats by < one stride.
+constexpr uint64_t kMetricsFlushStride = 64;
+
+}  // namespace
 
 ContextQueryTree::ContextQueryTree(EnvironmentPtr env, Ordering order,
                                    size_t capacity, size_t num_shards)
@@ -94,31 +142,71 @@ void ContextQueryTree::RemovePath(Shard& shard, const ContextState& state) {
 std::shared_ptr<const ContextQueryTree::Entry> ContextQueryTree::Lookup(
     const ContextState& state, uint64_t profile_version,
     AccessCounter* counter) {
+  CacheMetrics& metrics = CacheMetrics::Get();
+  TraceSpan span("query_cache.lookup");
+  // One clock pair serves both the outcome-dependent hit/miss
+  // histograms and the per-shard histogram; reads happen only while
+  // timing is enabled.
+  const bool timed = MetricsRegistry::TimingEnabled();
+  const uint64_t start_nanos = timed ? MonotonicNanos() : 0;
   Shard& shard = ShardFor(state);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  Node* node = Descend(shard, state, /*create=*/false, counter);
-  if (node == nullptr || node->leaf == nullptr) {
-    ++shard.misses;
-    return nullptr;
+  std::shared_ptr<const Entry> result;
+  bool invalidated = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.lookups;
+    Node* node = Descend(shard, state, /*create=*/false, counter);
+    if (node == nullptr || node->leaf == nullptr) {
+      ++shard.misses;
+      ++shard.pending_misses;
+    } else if (node->leaf->version != profile_version) {
+      // Stale: computed against an older profile. Drop on touch.
+      shard.lru.erase(node->leaf->lru_it);
+      RemovePath(shard, state);
+      --shard.size;
+      ++shard.misses;
+      ++shard.invalidations;
+      ++shard.pending_misses;
+      ++shard.pending_invalidations;
+      invalidated = true;
+    } else {
+      // Refresh LRU position.
+      shard.lru.splice(shard.lru.begin(), shard.lru, node->leaf->lru_it);
+      ++shard.hits;
+      ++shard.pending_hits;
+      result = node->leaf->entry;
+    }
+    if (++shard.pending_lookups >= kMetricsFlushStride) {
+      metrics.lookups.Increment(shard.pending_lookups);
+      metrics.hits.Increment(shard.pending_hits);
+      metrics.misses.Increment(shard.pending_misses);
+      metrics.invalidations.Increment(shard.pending_invalidations);
+      shard.pending_lookups = 0;
+      shard.pending_hits = 0;
+      shard.pending_misses = 0;
+      shard.pending_invalidations = 0;
+    }
   }
-  if (node->leaf->version != profile_version) {
-    // Stale: computed against an older profile. Drop on touch.
-    shard.lru.erase(node->leaf->lru_it);
-    RemovePath(shard, state);
-    --shard.size;
-    ++shard.misses;
-    ++shard.invalidations;
-    return nullptr;
+  if (timed) {
+    const uint64_t elapsed = MonotonicNanos() - start_nanos;
+    (result != nullptr ? metrics.hit_latency : metrics.miss_latency)
+        .Record(elapsed);
+    shard.lookup_latency.Record(elapsed);
   }
-  // Refresh LRU position.
-  shard.lru.splice(shard.lru.begin(), shard.lru, node->leaf->lru_it);
-  ++shard.hits;
-  return node->leaf->entry;
+  if (span.active()) {
+    span.Tag("outcome", result != nullptr ? "hit"
+                        : invalidated     ? "invalidated"
+                                          : "miss");
+  }
+  return result;
 }
 
 void ContextQueryTree::Put(const ContextState& state, uint64_t profile_version,
                            std::vector<db::ScoredTuple> tuples,
                            std::vector<CandidatePath> candidates) {
+  CacheMetrics& metrics = CacheMetrics::Get();
+  TraceSpan span("query_cache.put");
+  ScopedLatency latency(&metrics.put_latency);
   auto entry = std::make_shared<const Entry>(
       Entry{std::move(tuples), std::move(candidates)});
   Shard& shard = ShardFor(state);
@@ -144,6 +232,7 @@ void ContextQueryTree::Put(const ContextState& state, uint64_t profile_version,
     RemovePath(shard, victim);
     --shard.size;
     ++shard.evictions;
+    metrics.evictions.Increment();
   }
 }
 
@@ -160,6 +249,7 @@ CacheStats ContextQueryTree::Stats() const {
   CacheStats stats;
   for (const std::unique_ptr<Shard>& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
+    stats.lookups += shard->lookups;
     stats.hits += shard->hits;
     stats.misses += shard->misses;
     stats.evictions += shard->evictions;
@@ -167,6 +257,27 @@ CacheStats ContextQueryTree::Stats() const {
     stats.size += shard->size;
   }
   return stats;
+}
+
+CacheStats ContextQueryTree::ShardStats(size_t shard_index) const {
+  assert(shard_index < shards_.size());
+  const Shard& shard = *shards_[shard_index];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  CacheStats stats;
+  stats.lookups = shard.lookups;
+  stats.hits = shard.hits;
+  stats.misses = shard.misses;
+  stats.evictions = shard.evictions;
+  stats.invalidations = shard.invalidations;
+  stats.size = shard.size;
+  return stats;
+}
+
+HistogramSnapshot ContextQueryTree::ShardLookupLatency(
+    size_t shard_index) const {
+  assert(shard_index < shards_.size());
+  // The histogram is internally atomic; no shard lock needed.
+  return shards_[shard_index]->lookup_latency.Snapshot();
 }
 
 namespace {
@@ -187,6 +298,7 @@ PerStateResult EvaluateState(const db::Relation& relation,
                              const QueryOptions& options,
                              AccessCounter* counter) {
   PerStateResult out;
+  TraceSpan span("cached_rank_cs.state");
   std::shared_ptr<const ContextQueryTree::Entry> cached =
       cache.Lookup(s, profile.version(), counter);
   if (cached != nullptr) {
@@ -233,6 +345,9 @@ StatusOr<QueryResult> CachedRankCS(const db::Relation& relation,
     return Status::InvalidArgument(
         "CachedRankCS requires an associative combine policy (max or min)");
   }
+  RankMetrics& metrics = RankMetrics::Get();
+  TraceSpan span("cached_rank_cs");
+  ScopedLatency latency(&metrics.latency);
   const ContextEnvironment& env = resolver.tree().env();
 
   std::vector<ContextState> states = query.context.EnumerateStates(env);
@@ -314,6 +429,12 @@ StatusOr<QueryResult> CachedRankCS(const db::Relation& relation,
 
   result.tuples =
       options.top_k > 0 ? ranker.TopK(options.top_k) : ranker.Ranked();
+  metrics.cached_queries.Increment();
+  metrics.states.Increment(states.size());
+  if (span.active()) {
+    span.Tag("states", static_cast<uint64_t>(states.size()));
+    span.Tag("tuples", static_cast<uint64_t>(result.tuples.size()));
+  }
   return result;
 }
 

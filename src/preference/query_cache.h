@@ -10,6 +10,7 @@
 #include "preference/contextual_query.h"
 #include "preference/ordering.h"
 #include "util/counters.h"
+#include "util/histogram.h"
 
 namespace ctxpref {
 
@@ -18,6 +19,9 @@ namespace ctxpref {
 /// the fields are each exact per shard but the total is not a single
 /// linearization point — fine for benchmarks and monitoring.
 struct CacheStats {
+  /// Total `Lookup` calls; every lookup is exactly one hit or miss, so
+  /// `lookups == hits + misses` holds per shard and in aggregate.
+  uint64_t lookups = 0;
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
@@ -79,6 +83,16 @@ class ContextQueryTree {
   /// legacy one-at-a-time view.
   CacheStats Stats() const;
 
+  /// Counters of one shard (index < `num_shards()`), exact under its
+  /// lock — the per-shard view behind the aggregate `Stats()`.
+  CacheStats ShardStats(size_t shard) const;
+
+  /// Per-shard lookup-latency histogram (hits and misses together;
+  /// the registry's global `ctxpref_query_cache_{hit,miss}_latency_ns`
+  /// split by outcome instead). Populated only while
+  /// `MetricsRegistry::TimingEnabled()`.
+  HistogramSnapshot ShardLookupLatency(size_t shard) const;
+
   size_t size() const { return Stats().size; }
   uint64_t hits() const { return Stats().hits; }
   uint64_t misses() const { return Stats().misses; }
@@ -126,10 +140,23 @@ class ContextQueryTree {
     std::unique_ptr<Node> root;
     std::list<ContextState> lru;  ///< Front = most recently used.
     size_t size = 0;
+    uint64_t lookups = 0;
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
     uint64_t invalidations = 0;
+    /// Deltas not yet flushed to the process-wide registry counters.
+    /// Flushed together every kMetricsFlushStride lookups so the hot
+    /// path pays plain increments under the already-held lock instead
+    /// of global atomic RMWs; the registry may therefore lag the exact
+    /// per-shard counters above by up to one stride per shard.
+    uint64_t pending_lookups = 0;
+    uint64_t pending_hits = 0;
+    uint64_t pending_misses = 0;
+    uint64_t pending_invalidations = 0;
+    /// Lookup latency (hit + miss), recorded outside the shard lock
+    /// and only while timing is enabled.
+    LatencyHistogram lookup_latency;
   };
 
   Shard& ShardFor(const ContextState& state);

@@ -4,7 +4,36 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "util/metrics.h"
+#include "util/trace.h"
+
 namespace ctxpref {
+
+namespace {
+
+/// Resolution metrics, registered once on first resolve. Counters are
+/// always ticked (one relaxed add each); the latency histogram records
+/// only under `MetricsRegistry::TimingEnabled()`.
+struct ResolveMetrics {
+  Counter& resolutions;
+  Counter& candidates;
+  LatencyHistogram& latency;
+
+  static ResolveMetrics& Get() {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    static ResolveMetrics* m = new ResolveMetrics{
+        reg.GetCounter("ctxpref_resolve_total",
+                       "Context resolutions (ResolveBest calls)"),
+        reg.GetCounter("ctxpref_resolve_candidates_total",
+                       "Winning candidate paths returned by ResolveBest"),
+        reg.GetHistogram("ctxpref_resolve_latency_ns",
+                         "End-to-end ResolveBest latency"),
+    };
+    return *m;
+  }
+};
+
+}  // namespace
 
 bool NearlyEqual(double a, double b) {
   // Relative to the larger magnitude, with an absolute floor of 1 so
@@ -78,10 +107,19 @@ void TreeResolver::Recurse(const ProfileTree::Node& node, size_t level,
 std::vector<CandidatePath> TreeResolver::SearchCS(
     const ContextState& query, const ResolutionOptions& options,
     AccessCounter* counter) const {
+  // The tree-descent phase: cell matching and per-level distance
+  // computation happen together inside Recurse.
+  TraceSpan span("resolve.search_cs");
   std::vector<CandidatePath> out;
   std::vector<ValueRef> path;
   path.reserve(tree_->env().size());
   Recurse(tree_->root(), 0, query, options, 0.0, path, out, counter);
+  if (span.active()) {
+    span.Tag("candidates", static_cast<uint64_t>(out.size()));
+    span.Tag("distance", options.distance == DistanceKind::kJaccard
+                             ? "jaccard"
+                             : "hierarchy");
+  }
   return out;
 }
 
@@ -105,10 +143,23 @@ std::vector<CandidatePath> TieBreakByHierarchyDistance(
 std::vector<CandidatePath> TreeResolver::ResolveBest(
     const ContextState& query, const ResolutionOptions& options,
     AccessCounter* counter) const {
-  std::vector<CandidatePath> best =
-      BestCandidates(SearchCS(query, options, counter));
+  ResolveMetrics& metrics = ResolveMetrics::Get();
+  TraceSpan span("resolve");
+  ScopedLatency latency(&metrics.latency);
+  std::vector<CandidatePath> all = SearchCS(query, options, counter);
+  std::vector<CandidatePath> best;
+  {
+    TraceSpan select("resolve.best_candidates");
+    best = BestCandidates(std::move(all));
+  }
   if (options.distance == DistanceKind::kJaccard) {
+    TraceSpan tie_break("resolve.tie_break");
     best = TieBreakByHierarchyDistance(tree_->env(), query, std::move(best));
+  }
+  metrics.resolutions.Increment();
+  metrics.candidates.Increment(best.size());
+  if (span.active()) {
+    span.Tag("candidates", static_cast<uint64_t>(best.size()));
   }
   return best;
 }

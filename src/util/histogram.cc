@@ -1,0 +1,50 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+
+namespace ctxpref {
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    const uint64_t next = cumulative + counts[i];
+    if (static_cast<double>(next) >= target) {
+      const double lo =
+          static_cast<double>(LatencyHistogram::BucketLowerBound(i));
+      const double hi =
+          static_cast<double>(LatencyHistogram::BucketUpperBound(i));
+      // Fraction of this bucket's population below the target rank.
+      const double within =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(counts[i]);
+      return lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  // Unreachable when counts sum to count; defensive for racy snapshots.
+  return static_cast<double>(
+      LatencyHistogram::BucketUpperBound(kNumBuckets - 1));
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot s;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    s.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.count += s.counts[i];
+  }
+  s.sum_nanos = sum_nanos_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void LatencyHistogram::Reset() {
+  for (std::atomic<uint64_t>& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  sum_nanos_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace ctxpref

@@ -1,0 +1,92 @@
+#ifndef CTXPREF_UTIL_HISTOGRAM_H_
+#define CTXPREF_UTIL_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace ctxpref {
+
+/// Plain copy of a `LatencyHistogram` at one point in time, with the
+/// percentile/mean math (the atomic histogram itself only records).
+struct HistogramSnapshot {
+  /// Power-of-two bucket count: bucket 0 holds values in [0, 2) ns,
+  /// bucket i >= 1 holds [2^i, 2^(i+1)) ns, and the last bucket is
+  /// open-ended. 40 buckets span [0, ~9.2 minutes) — far beyond any
+  /// query-path latency this library produces.
+  static constexpr size_t kNumBuckets = 40;
+
+  std::array<uint64_t, kNumBuckets> counts{};
+  uint64_t count = 0;      ///< Total recorded values (= sum of counts).
+  uint64_t sum_nanos = 0;  ///< Sum of recorded values.
+
+  /// The p-th percentile (p in [0, 1], clamped) estimated by linear
+  /// interpolation inside the bucket where the cumulative count crosses
+  /// p * count. Exact for values on bucket lower bounds; otherwise
+  /// within one bucket width (a factor of 2). Returns 0 when empty.
+  double Percentile(double p) const;
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum_nanos) /
+                            static_cast<double>(count);
+  }
+};
+
+/// Fixed-bucket log2-scale latency histogram with lock-free recording.
+///
+/// `Record` is two relaxed `fetch_add`s — safe (and cheap) to call from
+/// any thread on the query hot path. Reads (`Snapshot`) are not a
+/// single linearization point: each bucket is exact but a snapshot
+/// taken during concurrent recording may mix before/after counts, the
+/// same monitoring contract as `AccessCounter` (util/counters.h).
+///
+/// Values are nanoseconds by convention (metric names end `_ns`), but
+/// nothing enforces a unit — the bucket math is unit-agnostic.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = HistogramSnapshot::kNumBuckets;
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  void Record(uint64_t nanos) {
+    buckets_[BucketFor(nanos)].fetch_add(1, std::memory_order_relaxed);
+    sum_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot Snapshot() const;
+
+  void Reset();
+
+  /// Bucket index for a value: 0 for [0, 2), else floor(log2(nanos)),
+  /// clamped to the open-ended last bucket.
+  static size_t BucketFor(uint64_t nanos) {
+    if (nanos < 2) return 0;
+    const size_t b = static_cast<size_t>(std::bit_width(nanos)) - 1;
+    return b < kNumBuckets ? b : kNumBuckets - 1;
+  }
+
+  /// Inclusive lower bound of a bucket (0 for bucket 0, else 2^i).
+  static uint64_t BucketLowerBound(size_t bucket) {
+    return bucket == 0 ? 0 : uint64_t{1} << bucket;
+  }
+
+  /// Exclusive upper bound of a bucket. The last bucket is open-ended;
+  /// its nominal bound (2^40) is still returned so exports have a
+  /// finite `le` edge before "+Inf".
+  static uint64_t BucketUpperBound(size_t bucket) {
+    return uint64_t{1} << (bucket + 1);
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> sum_nanos_{0};
+};
+
+}  // namespace ctxpref
+
+#endif  // CTXPREF_UTIL_HISTOGRAM_H_

@@ -1,0 +1,240 @@
+#include "util/metrics.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ctxpref {
+
+namespace {
+
+/// Formats a double with enough precision for re-parsing, trimming the
+/// exponent noise a raw %g would keep.
+std::string FormatNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Metric& MetricsRegistry::GetOrCreate(const std::string& name,
+                                                      const std::string& help,
+                                                      Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    if (it->second.kind != kind) {
+      std::fprintf(stderr,
+                   "MetricsRegistry: metric '%s' re-registered with a "
+                   "different kind\n",
+                   name.c_str());
+      std::abort();
+    }
+    return it->second;
+  }
+  Metric m;
+  m.kind = kind;
+  m.help = help;
+  switch (kind) {
+    case Kind::kCounter:
+      m.counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      m.gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      m.histogram = std::make_unique<LatencyHistogram>();
+      break;
+  }
+  return metrics_.emplace(name, std::move(m)).first->second;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  return *GetOrCreate(name, help, Kind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  return *GetOrCreate(name, help, Kind::kGauge).gauge;
+}
+
+LatencyHistogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                                const std::string& help) {
+  return *GetOrCreate(name, help, Kind::kHistogram).histogram;
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char buf[128];
+  for (const auto& [name, m] : metrics_) {
+    if (!m.help.empty()) {
+      out += "# HELP " + name + " " + m.help + "\n";
+    }
+    switch (m.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        std::snprintf(buf, sizeof(buf), "%s %" PRIu64 "\n", name.c_str(),
+                      m.counter->value());
+        out += buf;
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        std::snprintf(buf, sizeof(buf), "%s %" PRId64 "\n", name.c_str(),
+                      m.gauge->value());
+        out += buf;
+        break;
+      case Kind::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        const HistogramSnapshot s = m.histogram->Snapshot();
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < HistogramSnapshot::kNumBuckets; ++i) {
+          cumulative += s.counts[i];
+          // Skip leading all-zero buckets to keep the exposition
+          // readable; cumulative series stay correct from the first
+          // emitted edge.
+          if (cumulative == 0 && i + 1 < HistogramSnapshot::kNumBuckets) {
+            continue;
+          }
+          std::snprintf(buf, sizeof(buf),
+                        "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+                        name.c_str(), LatencyHistogram::BucketUpperBound(i),
+                        cumulative);
+          out += buf;
+        }
+        std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n",
+                      name.c_str(), s.count);
+        out += buf;
+        std::snprintf(buf, sizeof(buf), "%s_sum %" PRIu64 "\n", name.c_str(),
+                      s.sum_nanos);
+        out += buf;
+        std::snprintf(buf, sizeof(buf), "%s_count %" PRIu64 "\n", name.c_str(),
+                      s.count);
+        out += buf;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::Json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string counters, gauges, histograms;
+  char buf[160];
+  for (const auto& [name, m] : metrics_) {
+    switch (m.kind) {
+      case Kind::kCounter:
+        if (!counters.empty()) counters += ",";
+        std::snprintf(buf, sizeof(buf), "\"%s\":%" PRIu64,
+                      JsonEscape(name).c_str(), m.counter->value());
+        counters += buf;
+        break;
+      case Kind::kGauge:
+        if (!gauges.empty()) gauges += ",";
+        std::snprintf(buf, sizeof(buf), "\"%s\":%" PRId64,
+                      JsonEscape(name).c_str(), m.gauge->value());
+        gauges += buf;
+        break;
+      case Kind::kHistogram: {
+        if (!histograms.empty()) histograms += ",";
+        const HistogramSnapshot s = m.histogram->Snapshot();
+        histograms += "\"";
+        histograms += JsonEscape(name);
+        histograms += "\":{";
+        std::snprintf(buf, sizeof(buf),
+                      "\"count\":%" PRIu64 ",\"sum_nanos\":%" PRIu64, s.count,
+                      s.sum_nanos);
+        histograms += buf;
+        histograms += ",\"mean_ns\":" + FormatNumber(s.Mean());
+        histograms += ",\"p50_ns\":" + FormatNumber(s.Percentile(0.50));
+        histograms += ",\"p95_ns\":" + FormatNumber(s.Percentile(0.95));
+        histograms += ",\"p99_ns\":" + FormatNumber(s.Percentile(0.99));
+        histograms += ",\"buckets\":[";
+        bool first = true;
+        for (size_t i = 0; i < HistogramSnapshot::kNumBuckets; ++i) {
+          if (s.counts[i] == 0) continue;
+          if (!first) histograms += ",";
+          first = false;
+          std::snprintf(buf, sizeof(buf),
+                        "{\"le\":%" PRIu64 ",\"count\":%" PRIu64 "}",
+                        LatencyHistogram::BucketUpperBound(i), s.counts[i]);
+          histograms += buf;
+        }
+        histograms += "]}";
+        break;
+      }
+    }
+  }
+  std::string out = "{\"counters\":{";
+  out += counters;
+  out += "},\"gauges\":{";
+  out += gauges;
+  out += "},\"histograms\":{";
+  out += histograms;
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, m] : metrics_) {
+    switch (m.kind) {
+      case Kind::kCounter:
+        m.counter->Reset();
+        break;
+      case Kind::kGauge:
+        m.gauge->Reset();
+        break;
+      case Kind::kHistogram:
+        m.histogram->Reset();
+        break;
+    }
+  }
+}
+
+std::vector<std::string> MetricsRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(metrics_.size());
+  for (const auto& [name, m] : metrics_) names.push_back(name);
+  return names;
+}
+
+}  // namespace ctxpref

@@ -1,0 +1,161 @@
+#ifndef CTXPREF_UTIL_METRICS_H_
+#define CTXPREF_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/histogram.h"
+
+namespace ctxpref {
+
+/// Process-wide metrics: named counters, gauges and latency histograms
+/// registered in a `MetricsRegistry` and exportable as Prometheus text
+/// or JSON. The query path (Rank_CS, context resolution, the query
+/// cache, context acquisition, the thread pool) ticks these
+/// unconditionally — a tick is one relaxed atomic add — while *timed*
+/// instrumentation (clock reads feeding the latency histograms) is
+/// gated behind `MetricsRegistry::TimingEnabled()` so the hot path
+/// pays no clock overhead unless an operator opts in (e.g. the
+/// benches' `--metrics` flag). See docs/observability.md.
+
+/// Monotonically increasing counter (relaxed atomic).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t n = 1) {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Point-in-time signed value (relaxed atomic), e.g. a queue depth.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Steady-clock nanoseconds; the time base for all latency metrics and
+/// trace spans.
+uint64_t MonotonicNanos();
+
+/// A name -> metric map with stable iteration order (export is
+/// deterministic) and stable addresses (a returned reference stays
+/// valid for the registry's lifetime — instrumented code caches it in
+/// a function-local static). Thread-safe.
+///
+/// Metric names follow Prometheus conventions: `[a-zA-Z_:][a-zA-Z0-9_:]*`,
+/// counters end in `_total`, nanosecond histograms in `_ns`. Looking a
+/// name up again with a different metric kind aborts — that is a
+/// programming error, not a runtime condition.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry all built-in instrumentation uses.
+  static MetricsRegistry& Global();
+
+  /// Returns the metric registered under `name`, creating it on first
+  /// use. `help` is kept from the first registration.
+  Counter& GetCounter(const std::string& name, const std::string& help = "");
+  Gauge& GetGauge(const std::string& name, const std::string& help = "");
+  LatencyHistogram& GetHistogram(const std::string& name,
+                                 const std::string& help = "");
+
+  /// Prometheus text exposition format: HELP/TYPE comments, histogram
+  /// cumulative `_bucket{le="..."}` series plus `_sum`/`_count`.
+  std::string PrometheusText() const;
+
+  /// JSON object {"counters": {...}, "gauges": {...}, "histograms":
+  /// {name: {count, sum_nanos, mean_ns, p50_ns, p95_ns, p99_ns,
+  /// buckets: [{le, count}, ...]}}} with only non-empty buckets listed.
+  std::string Json() const;
+
+  /// Zeroes every registered metric (registrations are kept). For
+  /// tests and benchmark runs; not intended for production use.
+  void Reset();
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// Whether instrumented code should take timestamps. Off by default:
+  /// with timing off, instrumentation cost is counter ticks only and a
+  /// no-recorder trace-span check — no clock reads.
+  static bool TimingEnabled() {
+    return timing_enabled_.load(std::memory_order_relaxed);
+  }
+  static void SetTimingEnabled(bool on) {
+    timing_enabled_.store(on, std::memory_order_relaxed);
+  }
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Metric {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LatencyHistogram> histogram;
+  };
+
+  Metric& GetOrCreate(const std::string& name, const std::string& help,
+                      Kind kind);
+
+  inline static std::atomic<bool> timing_enabled_{false};
+
+  mutable std::mutex mu_;
+  std::map<std::string, Metric> metrics_;
+};
+
+/// RAII latency sample: records the elapsed nanoseconds into `h` on
+/// destruction, but only when timing was enabled at construction.
+/// `h` may be null (no-op) for conditionally-resolved histograms.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(LatencyHistogram* h)
+      : h_(MetricsRegistry::TimingEnabled() ? h : nullptr),
+        start_(h_ != nullptr ? MonotonicNanos() : 0) {}
+  ~ScopedLatency() {
+    if (h_ != nullptr) h_->Record(MonotonicNanos() - start_);
+  }
+
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+  /// Redirects the pending sample (e.g. once a lookup's hit/miss
+  /// outcome is known). Ignored when timing was off at construction.
+  void SetHistogram(LatencyHistogram* h) {
+    if (h_ != nullptr) h_ = h;
+  }
+
+ private:
+  LatencyHistogram* h_;
+  uint64_t start_;
+};
+
+}  // namespace ctxpref
+
+#endif  // CTXPREF_UTIL_METRICS_H_

@@ -3,7 +3,35 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/metrics.h"
+
 namespace ctxpref {
+
+namespace {
+
+/// Pool metrics, shared by every `ThreadPool` instance. The gauge
+/// tracks the global queued-task count; per-pool depth is not exported
+/// (pools are short-lived in `CachedRankCS` and names must be stable).
+struct PoolMetrics {
+  Counter& tasks;
+  Gauge& queue_depth;
+  LatencyHistogram& task_wait;
+
+  static PoolMetrics& Get() {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    static PoolMetrics* m = new PoolMetrics{
+        reg.GetCounter("ctxpref_thread_pool_tasks_total",
+                       "Tasks submitted across all thread pools"),
+        reg.GetGauge("ctxpref_thread_pool_queue_depth",
+                     "Tasks currently queued (not yet running), all pools"),
+        reg.GetHistogram("ctxpref_thread_pool_task_wait_ns",
+                         "Queue wait from Submit to execution start"),
+    };
+    return *m;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity) {
   if (num_threads == 0) num_threads = 1;
@@ -29,6 +57,9 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  PoolMetrics& metrics = PoolMetrics::Get();
+  Item item{std::move(task),
+            MetricsRegistry::TimingEnabled() ? MonotonicNanos() : 0};
   {
     std::unique_lock<std::mutex> lock(mu_);
     not_full_.wait(lock, [this] {
@@ -37,8 +68,10 @@ void ThreadPool::Submit(std::function<void()> task) {
     if (stopping_) {
       throw std::runtime_error("ThreadPool::Submit called during shutdown");
     }
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(item));
   }
+  metrics.tasks.Increment();
+  metrics.queue_depth.Add(1);
   not_empty_.notify_one();
 }
 
@@ -48,19 +81,24 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::WorkerLoop(std::stop_token stop) {
+  PoolMetrics& metrics = PoolMetrics::Get();
   for (;;) {
-    std::function<void()> task;
+    Item item;
     {
       std::unique_lock<std::mutex> lock(mu_);
       not_empty_.wait(lock, stop, [this] { return !queue_.empty(); });
       if (queue_.empty()) return;  // Stop requested and queue drained.
-      task = std::move(queue_.front());
+      item = std::move(queue_.front());
       queue_.pop_front();
       ++running_;
     }
+    metrics.queue_depth.Add(-1);
+    if (item.enqueue_nanos != 0) {
+      metrics.task_wait.Record(MonotonicNanos() - item.enqueue_nanos);
+    }
     not_full_.notify_one();
     try {
-      task();
+      item.fn();
     } catch (...) {
       // An exception leaving a jthread body would std::terminate the
       // process (and skip the bookkeeping below). Tasks are expected

@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -45,13 +46,21 @@ class ThreadPool {
   void Wait();
 
  private:
+  /// A queued task plus its enqueue timestamp for the
+  /// `ctxpref_thread_pool_task_wait_ns` histogram; 0 when
+  /// `MetricsRegistry::TimingEnabled()` was off at submit time.
+  struct Item {
+    std::function<void()> fn;
+    uint64_t enqueue_nanos = 0;
+  };
+
   void WorkerLoop(std::stop_token stop);
 
   std::mutex mu_;
   std::condition_variable_any not_empty_;  ///< Queue gained a task.
   std::condition_variable not_full_;       ///< Queue gained a slot.
   std::condition_variable idle_;           ///< Queue drained, nothing running.
-  std::deque<std::function<void()>> queue_;
+  std::deque<Item> queue_;
   size_t queue_capacity_;
   size_t running_ = 0;     ///< Tasks currently executing.
   bool stopping_ = false;  ///< Set by the destructor; Submit fails fast.

@@ -1,0 +1,118 @@
+#include "util/trace.h"
+
+#include <cstdio>
+
+#include "util/metrics.h"
+#include "util/string_util.h"
+
+namespace ctxpref {
+
+namespace {
+
+/// The process-wide active recorder. Spans load it relaxed — a span
+/// racing an Install/Uninstall simply lands in (or misses) the
+/// recorder by a hair, which is fine for diagnostics.
+std::atomic<TraceRecorder*> g_recorder{nullptr};
+
+/// Innermost open span on this thread; 0 when none. Drives parent ids.
+thread_local uint64_t tls_current_span = 0;
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      epoch_nanos_(MonotonicNanos()) {
+  ring_.resize(capacity_);
+}
+
+TraceRecorder::~TraceRecorder() { Uninstall(); }
+
+void TraceRecorder::Install() {
+  g_recorder.store(this, std::memory_order_release);
+}
+
+void TraceRecorder::Uninstall() {
+  TraceRecorder* expected = this;
+  g_recorder.compare_exchange_strong(expected, nullptr,
+                                     std::memory_order_acq_rel);
+}
+
+TraceRecorder* TraceRecorder::active() {
+  return g_recorder.load(std::memory_order_relaxed);
+}
+
+void TraceRecorder::Record(TraceEvent ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[recorded_ % capacity_] = std::move(ev);
+  ++recorded_;
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  const uint64_t n = recorded_ < capacity_ ? recorded_ : capacity_;
+  out.reserve(n);
+  const uint64_t start = recorded_ - n;  // Oldest surviving event.
+  for (uint64_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % capacity_]);
+  }
+  return out;
+}
+
+uint64_t TraceRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_ <= capacity_ ? 0 : recorded_ - capacity_;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (TraceEvent& ev : ring_) ev = TraceEvent{};
+  recorded_ = 0;
+}
+
+TraceSpan::TraceSpan(const char* name) {
+  TraceRecorder* rec = TraceRecorder::active();
+  if (rec == nullptr) return;  // The zero-cost path: load + branch.
+  rec_ = rec;
+  name_ = name;
+  id_ = rec->NextId();
+  parent_ = tls_current_span;
+  tls_current_span = id_;
+  start_nanos_ = MonotonicNanos();
+}
+
+TraceSpan::~TraceSpan() {
+  if (rec_ == nullptr) return;
+  const uint64_t end = MonotonicNanos();
+  tls_current_span = parent_;
+  TraceEvent ev;
+  ev.id = id_;
+  ev.parent_id = parent_;
+  ev.name = name_;
+  ev.start_nanos = start_nanos_ - rec_->epoch_nanos_;
+  ev.duration_nanos = end - start_nanos_;
+  ev.tags = std::move(tags_);
+  rec_->Record(std::move(ev));
+}
+
+void TraceSpan::Tag(std::string_view key, std::string_view value) {
+  if (rec_ == nullptr) return;
+  tags_.emplace_back(std::string(key), std::string(value));
+}
+
+void TraceSpan::Tag(std::string_view key, uint64_t value) {
+  if (rec_ == nullptr) return;
+  tags_.emplace_back(std::string(key), std::to_string(value));
+}
+
+void TraceSpan::Tag(std::string_view key, double value) {
+  if (rec_ == nullptr) return;
+  tags_.emplace_back(std::string(key), FormatDouble(value, 3));
+}
+
+}  // namespace ctxpref

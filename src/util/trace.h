@@ -1,0 +1,116 @@
+#ifndef CTXPREF_UTIL_TRACE_H_
+#define CTXPREF_UTIL_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ctxpref {
+
+/// Lightweight scoped tracing for the query path.
+///
+/// A `TraceSpan` marks one timed region (`rank_cs`, `resolve.search_cs`,
+/// `query_cache.lookup`, ...). Spans nest: a span constructed while
+/// another span is open on the same thread records that span as its
+/// parent, so a drained trace reconstructs the call tree. Completed
+/// spans land in the installed `TraceRecorder`'s fixed-capacity ring
+/// buffer (oldest events are overwritten, `dropped()` counts them).
+///
+/// Cost contract: with no recorder installed, constructing a span is
+/// one relaxed atomic load and a branch — no clock read, no id
+/// allocation, no heap traffic — so instrumentation can stay in the
+/// hot path permanently. `Tag` is likewise a no-op on inactive spans.
+///
+/// Lifetime contract: a recorder must outlive any span started while
+/// it was installed (spans pin the recorder they saw at construction).
+/// Uninstall, then drain/destroy — in that order.
+
+/// One completed span.
+struct TraceEvent {
+  uint64_t id = 0;         ///< Unique per recorder, 1-based.
+  uint64_t parent_id = 0;  ///< 0 = root (no enclosing span on the thread).
+  std::string name;
+  uint64_t start_nanos = 0;     ///< Relative to the recorder's epoch.
+  uint64_t duration_nanos = 0;
+  std::vector<std::pair<std::string, std::string>> tags;
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(size_t capacity = 4096);
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Makes this recorder the process-wide active one. At most one
+  /// recorder is active; installing replaces the previous one.
+  void Install();
+  /// Deactivates this recorder if it is the active one (no-op else).
+  void Uninstall();
+  /// The active recorder, or null (the common production state).
+  static TraceRecorder* active();
+
+  /// Completed spans, oldest first. A parent may be missing from the
+  /// result if the ring wrapped past it; renderers treat such spans as
+  /// roots.
+  std::vector<TraceEvent> Events() const;
+
+  uint64_t recorded() const;  ///< Total spans recorded (incl. dropped).
+  uint64_t dropped() const;   ///< Spans overwritten by ring wraparound.
+  size_t capacity() const { return capacity_; }
+
+  void Clear();
+
+ private:
+  friend class TraceSpan;
+
+  uint64_t NextId() {
+    return id_gen_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  void Record(TraceEvent ev);
+
+  const size_t capacity_;
+  const uint64_t epoch_nanos_;
+  std::atomic<uint64_t> id_gen_{0};
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;  ///< Ring storage, capacity_ slots.
+  uint64_t recorded_ = 0;
+};
+
+/// RAII span. Records on destruction into the recorder that was active
+/// at construction; inactive spans (no recorder) cost a branch.
+class TraceSpan {
+ public:
+  /// `name` must be a string with static storage duration (a literal);
+  /// it is not copied until the span completes.
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool active() const { return rec_ != nullptr; }
+
+  void Tag(std::string_view key, std::string_view value);
+  void Tag(std::string_view key, uint64_t value);
+  void Tag(std::string_view key, double value);
+
+ private:
+  TraceRecorder* rec_ = nullptr;
+  const char* name_ = nullptr;
+  uint64_t id_ = 0;
+  uint64_t parent_ = 0;
+  uint64_t start_nanos_ = 0;  ///< Absolute; rebased on record.
+  std::vector<std::pair<std::string, std::string>> tags_;
+};
+
+}  // namespace ctxpref
+
+#endif  // CTXPREF_UTIL_TRACE_H_

@@ -151,7 +151,9 @@ TEST_P(ExhaustiveSemanticsTest, CoversRelationIsAPartialOrderOnTheWorld) {
   for (const ContextState& a : world) {
     EXPECT_TRUE(a.Covers(*env, a));
     for (const ContextState& b : world) {
-      if (a.Covers(*env, b) && b.Covers(*env, a)) EXPECT_EQ(a, b);
+      if (a.Covers(*env, b) && b.Covers(*env, a)) {
+        EXPECT_EQ(a, b);
+      }
       for (const ContextState& c : world) {
         if (a.Covers(*env, b) && b.Covers(*env, c)) {
           EXPECT_TRUE(a.Covers(*env, c));

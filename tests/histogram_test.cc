@@ -1,0 +1,149 @@
+// util/histogram.h: bucket boundary arithmetic, percentile math, and
+// concurrent recording of the lock-free latency histogram.
+
+#include "util/histogram.h"
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ctxpref {
+namespace {
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket 0 holds [0, 2); every later bucket i holds [2^i, 2^(i+1)).
+  EXPECT_EQ(LatencyHistogram::BucketFor(0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketFor(1), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketFor(2), 1u);
+  EXPECT_EQ(LatencyHistogram::BucketFor(3), 1u);
+  EXPECT_EQ(LatencyHistogram::BucketFor(4), 2u);
+  EXPECT_EQ(LatencyHistogram::BucketFor(7), 2u);
+  EXPECT_EQ(LatencyHistogram::BucketFor(8), 3u);
+  EXPECT_EQ(LatencyHistogram::BucketFor(1023), 9u);
+  EXPECT_EQ(LatencyHistogram::BucketFor(1024), 10u);
+}
+
+TEST(HistogramTest, BucketBoundsRoundTrip) {
+  for (size_t b = 0; b < HistogramSnapshot::kNumBuckets; ++b) {
+    const uint64_t lo = LatencyHistogram::BucketLowerBound(b);
+    EXPECT_EQ(LatencyHistogram::BucketFor(lo), b) << "bucket " << b;
+    if (b + 1 < HistogramSnapshot::kNumBuckets) {
+      const uint64_t hi = LatencyHistogram::BucketUpperBound(b);
+      EXPECT_EQ(LatencyHistogram::BucketFor(hi - 1), b) << "bucket " << b;
+      EXPECT_EQ(LatencyHistogram::BucketFor(hi), b + 1) << "bucket " << b;
+    }
+  }
+}
+
+TEST(HistogramTest, LastBucketIsOpenEnded) {
+  constexpr size_t kLast = HistogramSnapshot::kNumBuckets - 1;
+  EXPECT_EQ(LatencyHistogram::BucketFor(UINT64_MAX), kLast);
+  LatencyHistogram h;
+  h.Record(UINT64_MAX);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.counts[kLast], 1u);
+  EXPECT_EQ(snap.count, 1u);
+}
+
+TEST(HistogramTest, EmptySnapshot) {
+  LatencyHistogram h;
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum_nanos, 0u);
+  EXPECT_EQ(snap.Percentile(0.5), 0.0);
+  EXPECT_EQ(snap.Mean(), 0.0);
+}
+
+TEST(HistogramTest, CountAndSum) {
+  LatencyHistogram h;
+  h.Record(10);
+  h.Record(100);
+  h.Record(1000);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.sum_nanos, 1110u);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 370.0);
+}
+
+TEST(HistogramTest, PercentileSingleBucket) {
+  // All samples land in bucket [64, 128); every percentile must come
+  // from that bucket's range.
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.Record(100);
+  HistogramSnapshot snap = h.Snapshot();
+  for (double p : {0.01, 0.5, 0.95, 0.99}) {
+    const double v = snap.Percentile(p);
+    EXPECT_GE(v, 64.0) << "p" << p;
+    EXPECT_LE(v, 128.0) << "p" << p;
+  }
+}
+
+TEST(HistogramTest, PercentileSplitsAcrossBuckets) {
+  // 90 fast samples in [64, 128), 10 slow in [65536, 131072): the p50
+  // must sit in the fast bucket, the p99 in the slow one.
+  LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) h.Record(100);
+  for (int i = 0; i < 10; ++i) h.Record(100'000);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_LE(snap.Percentile(0.5), 128.0);
+  EXPECT_GE(snap.Percentile(0.95), 65536.0);
+  EXPECT_GE(snap.Percentile(0.99), 65536.0);
+}
+
+TEST(HistogramTest, PercentileIsMonotoneInP) {
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 4096; v *= 2) {
+    for (int i = 0; i < 16; ++i) h.Record(v);
+  }
+  HistogramSnapshot snap = h.Snapshot();
+  double prev = 0.0;
+  for (double p = 0.05; p <= 1.0; p += 0.05) {
+    const double v = snap.Percentile(p);
+    EXPECT_GE(v, prev) << "p" << p;
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, PercentileClampsP) {
+  LatencyHistogram h;
+  h.Record(100);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.Percentile(-1.0), snap.Percentile(0.0));
+  EXPECT_EQ(snap.Percentile(2.0), snap.Percentile(1.0));
+}
+
+TEST(HistogramTest, Reset) {
+  LatencyHistogram h;
+  h.Record(5);
+  h.Record(500);
+  h.Reset();
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum_nanos, 0u);
+}
+
+TEST(HistogramTest, ConcurrentRecordLosesNothing) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25'000;
+  {
+    std::vector<std::jthread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&h, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          h.Record(static_cast<uint64_t>(t * 1000 + i % 1000));
+        }
+      });
+    }
+  }
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads * kPerThread));
+  uint64_t bucket_total = 0;
+  for (uint64_t c : snap.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+}  // namespace
+}  // namespace ctxpref

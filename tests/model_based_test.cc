@@ -99,7 +99,9 @@ TEST_P(CacheModelTest, RandomOpsMatchReferenceLru) {
           cache.Lookup(s, version);
       const std::vector<db::ScoredTuple>* b = reference.Lookup(s, version);
       ASSERT_EQ(a != nullptr, b != nullptr) << "step " << step;
-      if (a != nullptr) ASSERT_EQ(a->tuples, *b) << "step " << step;
+      if (a != nullptr) {
+        ASSERT_EQ(a->tuples, *b) << "step " << step;
+      }
     } else if (roll < 0.9) {
       std::vector<db::ScoredTuple> tuples = {
           {rng.Uniform(100), rng.NextDouble()}};

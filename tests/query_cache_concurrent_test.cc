@@ -9,6 +9,7 @@
 #include "context/parser.h"
 #include "preference/query_cache.h"
 #include "tests/test_util.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 #include "workload/poi_dataset.h"
 #include "workload/query_generator.h"
@@ -130,9 +131,25 @@ TEST_F(QueryCacheConcurrentTest, ReadersAndWritersRace) {
   threads.clear();  // Join.
 
   CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.lookups, static_cast<uint64_t>(kReaders) * kOpsPerThread);
   EXPECT_EQ(stats.hits + stats.misses,
             static_cast<uint64_t>(kReaders) * kOpsPerThread);
   EXPECT_LE(stats.size, 32u);
+
+  // Per-shard exactness: every lookup is exactly one hit or miss in
+  // its shard, and the shards sum to the aggregate.
+  CacheStats summed;
+  for (size_t shard = 0; shard < cache.num_shards(); ++shard) {
+    const CacheStats s = cache.ShardStats(shard);
+    EXPECT_EQ(s.hits + s.misses, s.lookups) << "shard " << shard;
+    summed.lookups += s.lookups;
+    summed.hits += s.hits;
+    summed.misses += s.misses;
+    summed.evictions += s.evictions;
+    summed.invalidations += s.invalidations;
+    summed.size += s.size;
+  }
+  EXPECT_EQ(summed, stats);
 }
 
 TEST_F(QueryCacheConcurrentTest, ConcurrentLookupsOnWarmCacheAllHit) {
@@ -166,6 +183,31 @@ TEST_F(QueryCacheConcurrentTest, ConcurrentLookupsOnWarmCacheAllHit) {
   }
   threads.clear();  // Join.
   EXPECT_EQ(cache.Stats().misses, 0u);
+}
+
+TEST_F(QueryCacheConcurrentTest, PerShardLatencyFollowsTimingFlag) {
+  const bool prev = MetricsRegistry::TimingEnabled();
+  ContextQueryTree cache(env_, Ordering::Identity(env_->size()),
+                         /*capacity=*/0, /*num_shards=*/4);
+  std::vector<ContextState> states =
+      workload::RandomQueryBatch(*env_, 16, 41, 0.0);
+
+  auto shard_latency_total = [&cache] {
+    uint64_t total = 0;
+    for (size_t s = 0; s < cache.num_shards(); ++s) {
+      total += cache.ShardLookupLatency(s).count;
+    }
+    return total;
+  };
+
+  MetricsRegistry::SetTimingEnabled(false);
+  for (const ContextState& s : states) cache.Lookup(s, 1);
+  EXPECT_EQ(shard_latency_total(), 0u);
+
+  MetricsRegistry::SetTimingEnabled(true);
+  for (const ContextState& s : states) cache.Lookup(s, 1);
+  EXPECT_EQ(shard_latency_total(), states.size());
+  MetricsRegistry::SetTimingEnabled(prev);
 }
 
 /// The acceptance bar for the parallel Rank_CS: ranked output and

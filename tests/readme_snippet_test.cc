@@ -1,6 +1,6 @@
-// Keeps the README honest: the quickstart and resilience snippets,
-// almost verbatim (error handling via ASSERT instead of *-deref),
-// must compile and behave as the README claims.
+// Keeps the README honest: the quickstart, resilience, and
+// observability snippets, almost verbatim (error handling via ASSERT
+// instead of *-deref), must compile and behave as the README claims.
 
 #include <gtest/gtest.h>
 
@@ -10,6 +10,8 @@
 #include "preference/explain.h"
 #include "preference/profile_tree.h"
 #include "tests/test_util.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 #include "workload/poi_dataset.h"
 
 namespace ctxpref {
@@ -127,6 +129,59 @@ TEST(ReadmeSnippetTest, ResilienceSnippetWorksAsAdvertised) {
   EXPECT_EQ(report.params[1].info.provenance, ReadProvenance::kStaleLifted);
   std::string text = ExplainAcquisition(*env, report);
   EXPECT_NE(text.find("stale-lifted-1"), std::string::npos);
+}
+
+TEST(ReadmeSnippetTest, ObservabilitySnippetWorksAsAdvertised) {
+  // Query setup mirrors the quickstart's step 5.
+  StatusOr<workload::PoiDatabase> poi = workload::MakePoiDatabase(60, 1);
+  ASSERT_OK(poi.status());
+  Profile profile(poi->env);
+  StatusOr<CompositeDescriptor> cod = ParseCompositeDescriptor(
+      *poi->env, "location = Plaka and temperature in {warm, hot}");
+  ASSERT_OK(cod.status());
+  StatusOr<ContextualPreference> pref = ContextualPreference::Create(
+      std::move(*cod),
+      {"name", db::CompareOp::kEq, db::Value("Acropolis")}, 0.8);
+  ASSERT_OK(pref.status());
+  ASSERT_OK(profile.Insert(std::move(*pref)));
+  StatusOr<ProfileTree> tree = ProfileTree::Build(profile);
+  ASSERT_OK(tree.status());
+  TreeResolver resolver(&*tree);
+  ContextualQuery q;
+  StatusOr<CompositeDescriptor> qcod = ParseCompositeDescriptor(
+      *poi->env, "location = Plaka and temperature = hot");
+  ASSERT_OK(qcod.status());
+  q.context = ExtendedDescriptor::FromComposite(std::move(*qcod));
+  QueryOptions options;
+  options.top_k = 20;
+
+  // The README snippet, with the flag restored afterward so other
+  // tests keep the process-wide default.
+  const bool prev_timing = MetricsRegistry::TimingEnabled();
+  MetricsRegistry::SetTimingEnabled(true);   // opt into latency clocks
+  TraceRecorder recorder(/*capacity=*/4096);
+  recorder.Install();
+
+  StatusOr<QueryResult> result = RankCS(poi->relation, q, resolver, options);
+
+  recorder.Uninstall();
+  MetricsRegistry::SetTimingEnabled(prev_timing);
+  ASSERT_OK(result.status());
+
+  // The rendered trace shows the spans the README's comment promises,
+  // with rank_cs.state indented under rank_cs.
+  std::string trace = ExplainTrace(recorder.Events());
+  EXPECT_EQ(trace.rfind("rank_cs", 0), 0u) << trace;
+  EXPECT_NE(trace.find("\n  rank_cs.state"), std::string::npos) << trace;
+  EXPECT_NE(trace.find("resolve"), std::string::npos) << trace;
+  EXPECT_NE(trace.find("scored="), std::string::npos) << trace;
+
+  std::string prom = MetricsRegistry::Global().PrometheusText();
+  std::string json = MetricsRegistry::Global().Json();
+  EXPECT_NE(prom.find("ctxpref_rank_cs_queries_total"), std::string::npos);
+  EXPECT_NE(prom.find("ctxpref_rank_cs_latency_ns_bucket"), std::string::npos);
+  EXPECT_NE(json.find("\"ctxpref_rank_cs_latency_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_ns\""), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,181 @@
+// util/trace.h: span nesting, tags, ring wraparound, the zero-cost
+// inactive path, and ExplainTrace rendering.
+
+#include "util/trace.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "preference/explain.h"
+
+namespace ctxpref {
+namespace {
+
+/// Uninstalls on destruction so a failing assertion cannot leave a
+/// dangling recorder installed for later tests.
+struct ScopedRecorder {
+  explicit ScopedRecorder(size_t capacity = 4096) : rec(capacity) {
+    rec.Install();
+  }
+  ~ScopedRecorder() { rec.Uninstall(); }
+  TraceRecorder rec;
+};
+
+TEST(TraceTest, NoRecorderMeansInactiveSpans) {
+  ASSERT_EQ(TraceRecorder::active(), nullptr);
+  TraceSpan span("orphan");
+  EXPECT_FALSE(span.active());
+  span.Tag("ignored", uint64_t{1});  // Must be a no-op, not a crash.
+}
+
+TEST(TraceTest, RecordsCompletedSpans) {
+  ScopedRecorder scoped;
+  {
+    TraceSpan span("outer");
+    EXPECT_TRUE(span.active());
+  }
+  std::vector<TraceEvent> events = scoped.rec.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].parent_id, 0u);
+  EXPECT_GT(events[0].id, 0u);
+}
+
+TEST(TraceTest, NestingRecordsParentChild) {
+  ScopedRecorder scoped;
+  {
+    TraceSpan outer("outer");
+    {
+      TraceSpan inner("inner");
+      { TraceSpan leaf("leaf"); }
+    }
+    { TraceSpan sibling("sibling"); }
+  }
+  std::vector<TraceEvent> events = scoped.rec.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Spans record on destruction: leaf, inner, sibling, outer.
+  const TraceEvent& leaf = events[0];
+  const TraceEvent& inner = events[1];
+  const TraceEvent& sibling = events[2];
+  const TraceEvent& outer = events[3];
+  EXPECT_EQ(leaf.name, "leaf");
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(sibling.name, "sibling");
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.parent_id, 0u);
+  EXPECT_EQ(inner.parent_id, outer.id);
+  EXPECT_EQ(leaf.parent_id, inner.id);
+  EXPECT_EQ(sibling.parent_id, outer.id);
+}
+
+TEST(TraceTest, SiblingAfterNestedChildRestoresParent) {
+  ScopedRecorder scoped;
+  {
+    TraceSpan outer("outer");
+    { TraceSpan a("a"); }
+    // After `a` closes, the thread's current span must be `outer`
+    // again, not `a`.
+    { TraceSpan b("b"); }
+  }
+  std::vector<TraceEvent> events = scoped.rec.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].parent_id, events[2].id);
+  EXPECT_EQ(events[1].parent_id, events[2].id);
+}
+
+TEST(TraceTest, Tags) {
+  ScopedRecorder scoped;
+  {
+    TraceSpan span("tagged");
+    span.Tag("text", "value");
+    span.Tag("count", uint64_t{42});
+    span.Tag("ratio", 0.5);
+  }
+  std::vector<TraceEvent> events = scoped.rec.Events();
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_EQ(events[0].tags.size(), 3u);
+  EXPECT_EQ(events[0].tags[0].first, "text");
+  EXPECT_EQ(events[0].tags[0].second, "value");
+  EXPECT_EQ(events[0].tags[1].second, "42");
+  EXPECT_EQ(events[0].tags[2].first, "ratio");
+}
+
+TEST(TraceTest, RingWraparoundKeepsNewestAndCountsDropped) {
+  ScopedRecorder scoped(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    TraceSpan span("s");
+  }
+  EXPECT_EQ(scoped.rec.recorded(), 10u);
+  EXPECT_EQ(scoped.rec.dropped(), 6u);
+  std::vector<TraceEvent> events = scoped.rec.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest first, and the survivors are the newest four (ids 7..10).
+  EXPECT_EQ(events[0].id + 1, events[1].id);
+  EXPECT_EQ(events.back().id, 10u);
+}
+
+TEST(TraceTest, ClearEmptiesTheRing) {
+  ScopedRecorder scoped;
+  { TraceSpan span("s"); }
+  scoped.rec.Clear();
+  EXPECT_TRUE(scoped.rec.Events().empty());
+}
+
+TEST(TraceTest, UninstallStopsRecording) {
+  TraceRecorder rec;
+  rec.Install();
+  rec.Uninstall();
+  { TraceSpan span("after"); }
+  EXPECT_TRUE(rec.Events().empty());
+}
+
+TEST(TraceTest, SpanPinsRecorderAcrossUninstall) {
+  // A span started while the recorder was installed must still record
+  // into it even if the recorder was uninstalled mid-span.
+  TraceRecorder rec;
+  rec.Install();
+  {
+    TraceSpan span("pinned");
+    rec.Uninstall();
+  }
+  ASSERT_EQ(rec.Events().size(), 1u);
+  EXPECT_EQ(rec.Events()[0].name, "pinned");
+}
+
+TEST(TraceTest, ExplainTraceRendersIndentedTree) {
+  ScopedRecorder scoped;
+  {
+    TraceSpan outer("outer");
+    {
+      TraceSpan inner("inner");
+      inner.Tag("k", "v");
+    }
+  }
+  const std::string text = ExplainTrace(scoped.rec.Events());
+  // Root at column 0, child indented beneath it, tags appended.
+  EXPECT_EQ(text.find("outer"), 0u);
+  EXPECT_NE(text.find("\n  inner"), std::string::npos);
+  EXPECT_NE(text.find("k=v"), std::string::npos);
+  EXPECT_NE(text.find("us"), std::string::npos);
+}
+
+TEST(TraceTest, ExplainTraceTreatsMissingParentAsRoot) {
+  std::vector<TraceEvent> events;
+  TraceEvent orphan;
+  orphan.id = 5;
+  orphan.parent_id = 99;  // Not in the list (evicted / other thread).
+  orphan.name = "orphan";
+  orphan.duration_nanos = 1000;
+  events.push_back(orphan);
+  const std::string text = ExplainTrace(events);
+  EXPECT_EQ(text.find("orphan"), 0u);
+}
+
+TEST(TraceTest, ExplainTraceEmpty) {
+  EXPECT_EQ(ExplainTrace({}), "no spans recorded\n");
+}
+
+}  // namespace
+}  // namespace ctxpref

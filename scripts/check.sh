@@ -7,12 +7,15 @@
 #   scripts/check.sh --fast       # tier-1 only, no sanitizers
 #   scripts/check.sh --only-asan  # ASan/UBSan pass only (CI job)
 #   scripts/check.sh --only-tsan  # TSan pass only (CI job)
+#   scripts/check.sh --coverage   # instrumented tier-1 run + line-
+#                                 # coverage floor on src/ (CI job)
 #
 # Extra CMake configure arguments (e.g. a ccache launcher or
 # -DCTXPREF_WERROR=ON in CI) are taken from $CTXPREF_CMAKE_ARGS.
 #
 # Build trees: build/ (plain), build-asan/ (address,undefined),
-# build-tsan/ (thread). Each is configured on first use and reused.
+# build-tsan/ (thread), build-cov/ (--coverage). Each is configured on
+# first use and reused.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -21,12 +24,14 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 RUN_PLAIN=1
 RUN_TSAN=0
 RUN_ASAN=1
+RUN_COV=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) RUN_TSAN=1 ;;
     --fast) RUN_ASAN=0 ;;
     --only-asan) RUN_PLAIN=0; RUN_ASAN=1; RUN_TSAN=0 ;;
     --only-tsan) RUN_PLAIN=0; RUN_ASAN=0; RUN_TSAN=1 ;;
+    --coverage) RUN_PLAIN=0; RUN_ASAN=0; RUN_TSAN=0; RUN_COV=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -73,7 +78,28 @@ if [[ "${RUN_TSAN}" == 1 ]]; then
   # above turns an empty match back into a failure instead of a silent
   # pass.
   configure_and_test build-tsan "thread" "concurrency tests under TSan" \
-    -R "ResilientSource|QueryCacheConcurrent|ThreadPool|Observability"
+    -R "ResilientSource|QueryCacheConcurrent|ThreadPool|Observability|Serving"
+fi
+
+if [[ "${RUN_COV}" == 1 ]]; then
+  # Instrumented tier-1 run, then the line-coverage floor on src/.
+  # Stale counters from an earlier run would inflate the numbers, so
+  # drop them before testing.
+  echo "==== tier-1 with coverage instrumentation ===="
+  # shellcheck disable=SC2086
+  cmake -B build-cov -S . -DCTXPREF_COVERAGE=ON \
+    ${CTXPREF_CMAKE_ARGS:-} > /dev/null
+  find build-cov -name '*.gcda' -delete
+  cov_build_status=0
+  cmake --build build-cov -j "${JOBS}" -- --no-print-directory \
+    > build-cov/check-build.log 2>&1 || cov_build_status=$?
+  grep -E "error|warning" build-cov/check-build.log || true
+  if [[ "${cov_build_status}" -ne 0 ]]; then
+    echo "BUILD FAILED (coverage); full log: build-cov/check-build.log" >&2
+    exit "${cov_build_status}"
+  fi
+  (cd build-cov && ctest --output-on-failure --no-tests=error -j "${JOBS}")
+  python3 scripts/coverage.py --build-dir build-cov --threshold 70
 fi
 
 echo "==== all checks passed ===="

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Line-coverage report for a CTXPREF_COVERAGE=ON build tree.
+
+Walks the build tree for .gcda counter files, runs gcov's JSON
+intermediate format on each, merges the per-line execution counts
+across translation units (headers are compiled into many TUs; a line
+is covered if ANY TU executed it), and prints a per-file table for
+sources under src/. Exits non-zero when aggregate line coverage falls
+below the floor.
+
+Plain `gcov` only — no gcovr dependency — so it runs anywhere gcc does:
+
+    scripts/coverage.py --build-dir build-cov --threshold 70
+"""
+
+import argparse
+import glob
+import gzip
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def run_gcov(gcda, workdir):
+    """Runs gcov -j on one .gcda, returning parsed JSON documents."""
+    result = subprocess.run(
+        ["gcov", "--json-format", os.path.abspath(gcda)],
+        cwd=workdir,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        check=False,
+    )
+    docs = []
+    if result.returncode != 0:
+        return docs
+    for out in glob.glob(os.path.join(workdir, "*.gcov.json.gz")):
+        try:
+            with gzip.open(out, "rt", encoding="utf-8") as f:
+                docs.append(json.load(f))
+        except (OSError, json.JSONDecodeError):
+            pass
+        os.unlink(out)
+    return docs
+
+
+def merge_coverage(docs, repo_root, scope):
+    """Merges gcov documents into {source_path: {line: max_count}}."""
+    scope_prefix = os.path.join(repo_root, scope) + os.sep
+    files = {}
+    for doc in docs:
+        for f in doc.get("files", []):
+            path = f.get("file", "")
+            if not os.path.isabs(path):
+                path = os.path.join(repo_root, path)
+            path = os.path.normpath(path)
+            if not path.startswith(scope_prefix):
+                continue
+            lines = files.setdefault(path, {})
+            for line in f.get("lines", []):
+                n = line.get("line_number")
+                count = line.get("count", 0)
+                if n is None:
+                    continue
+                lines[n] = max(lines.get(n, 0), count)
+    return files
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build-cov",
+                        help="CTXPREF_COVERAGE=ON build tree with .gcda files")
+    parser.add_argument("--threshold", type=float, default=70.0,
+                        help="minimum aggregate line coverage %% over --scope")
+    parser.add_argument("--scope", default="src",
+                        help="repo-relative directory the floor applies to")
+    args = parser.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    build_dir = os.path.join(repo_root, args.build_dir)
+    gcda_files = glob.glob(os.path.join(build_dir, "**", "*.gcda"),
+                           recursive=True)
+    if not gcda_files:
+        print(f"error: no .gcda files under {build_dir} — configure with "
+              "-DCTXPREF_COVERAGE=ON and run the tests first",
+              file=sys.stderr)
+        return 2
+
+    docs = []
+    with tempfile.TemporaryDirectory() as workdir:
+        for gcda in gcda_files:
+            docs.extend(run_gcov(gcda, workdir))
+    files = merge_coverage(docs, repo_root, args.scope)
+    if not files:
+        print(f"error: gcov produced no data for sources under "
+              f"{args.scope}/", file=sys.stderr)
+        return 2
+
+    total_lines = 0
+    total_covered = 0
+    rows = []
+    for path in sorted(files):
+        lines = files[path]
+        covered = sum(1 for c in lines.values() if c > 0)
+        total_lines += len(lines)
+        total_covered += covered
+        pct = 100.0 * covered / len(lines) if lines else 100.0
+        rows.append((os.path.relpath(path, repo_root), covered,
+                     len(lines), pct))
+
+    width = max(len(r[0]) for r in rows)
+    print(f"{'file':<{width}}  covered/lines   line%")
+    for name, covered, lines, pct in rows:
+        print(f"{name:<{width}}  {covered:>7}/{lines:<7} {pct:6.1f}%")
+    aggregate = 100.0 * total_covered / total_lines
+    print(f"{'TOTAL':<{width}}  {total_covered:>7}/{total_lines:<7} "
+          f"{aggregate:6.1f}%")
+
+    if aggregate < args.threshold:
+        print(f"\nFAIL: {aggregate:.1f}% line coverage on {args.scope}/ is "
+              f"below the {args.threshold:.0f}% floor", file=sys.stderr)
+        return 1
+    print(f"\nOK: {aggregate:.1f}% >= {args.threshold:.0f}% floor "
+          f"on {args.scope}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

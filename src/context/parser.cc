@@ -87,6 +87,17 @@ class Scanner {
           out.push_back({Tok::kStar, "*"});
           ++i;
           continue;
+        case '<':
+          // `ToString` prints the empty descriptor as "<empty>"; accept
+          // that spelling as a synonym of "*" (anywhere a composite may
+          // appear, including inside a parenthesized disjunct) so
+          // Parse(ToString(x)) round-trips.
+          if (input_.substr(i, 7) == "<empty>") {
+            out.push_back({Tok::kStar, "*"});
+            i += 7;
+            continue;
+          }
+          return Status::Corruption("stray '<' in descriptor");
         case '&':
           if (i + 1 < input_.size() && input_[i + 1] == '&') {
             out.push_back({Tok::kAnd, "&&"});

@@ -2,6 +2,7 @@
 #define CTXPREF_PREFERENCE_CONTEXTUAL_QUERY_H_
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "context/descriptor.h"
@@ -85,6 +86,13 @@ struct QueryOptions {
   /// pool per call — fine for exploratory queries, wasteful under
   /// server-style traffic). The pool may be shared by many queries.
   ThreadPool* pool = nullptr;
+  /// Cache namespace for `CachedRankCS`'s `Profile&` overload: entries
+  /// are tagged `{cache_user, profile.version()}` in the
+  /// `ContextQueryTree`, so one shared cache can serve several users
+  /// without mixing their results. The serving layer
+  /// (`storage::ServeQuery`) ignores this and tags entries with the
+  /// pinned snapshot's user id and serving version instead.
+  std::string cache_user;
 };
 
 /// Result of Rank_CS: scored tuples plus resolution diagnostics

@@ -147,8 +147,8 @@ std::string Profile::ToText() const {
     if (cod == "<empty>") cod = "*";
     out += "pref: " + cod + " => " + p.clause().attribute + " " +
            db::CompareOpToString(p.clause().op) + " " +
-           p.clause().value.ToString() + " : " + FormatDouble(p.score()) +
-           "\n";
+           p.clause().value.ToString() + " : " +
+           FormatDoubleRoundTrip(p.score()) + "\n";
   }
   return out;
 }

@@ -74,19 +74,33 @@ ContextQueryTree::ContextQueryTree(EnvironmentPtr env, Ordering order,
   shards_.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
-    shards_.back()->root = std::make_unique<Node>();
   }
 }
 
-ContextQueryTree::Shard& ContextQueryTree::ShardFor(const ContextState& state) {
-  return *shards_[ContextStateHash{}(state) % shards_.size()];
+ContextQueryTree::Shard& ContextQueryTree::ShardFor(const std::string& user,
+                                                    const ContextState& state) {
+  size_t h = ContextStateHash{}(state);
+  if (!user.empty()) {
+    // Boost-style combine so (user, state) pairs spread across shards
+    // even when many users query the same few states.
+    h ^= std::hash<std::string>{}(user) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+  }
+  return *shards_[h % shards_.size()];
 }
 
 ContextQueryTree::Node* ContextQueryTree::Descend(Shard& shard,
+                                                  const std::string& user,
                                                   const ContextState& state,
                                                   bool create,
                                                   AccessCounter* counter) {
-  Node* node = shard.root.get();
+  Node* node;
+  auto root_it = shard.roots.find(user);
+  if (root_it == shard.roots.end()) {
+    if (!create) return nullptr;
+    root_it = shard.roots.emplace(user, std::make_unique<Node>()).first;
+  }
+  node = root_it->second.get();
   for (size_t level = 0; level < env_->size(); ++level) {
     const ValueRef key = state.value(order_.param_at_level(level));
     Node* next = nullptr;
@@ -107,10 +121,13 @@ ContextQueryTree::Node* ContextQueryTree::Descend(Shard& shard,
   return node;
 }
 
-void ContextQueryTree::RemovePath(Shard& shard, const ContextState& state) {
+void ContextQueryTree::RemovePath(Shard& shard, const std::string& user,
+                                  const ContextState& state) {
+  auto root_it = shard.roots.find(user);
+  if (root_it == shard.roots.end()) return;
   // Collect the node chain, then erase the deepest link whose subtree
   // becomes empty.
-  std::vector<Node*> chain = {shard.root.get()};
+  std::vector<Node*> chain = {root_it->second.get()};
   for (size_t level = 0; level < env_->size(); ++level) {
     const ValueRef key = state.value(order_.param_at_level(level));
     Node* next = nullptr;
@@ -137,11 +154,17 @@ void ContextQueryTree::RemovePath(Shard& shard, const ContextState& state) {
       }
     }
   }
+  // An empty per-user trie is dropped outright so idle users cost
+  // nothing in the roots map.
+  Node* root = root_it->second.get();
+  if (root->cells.empty() && root->leaf == nullptr) {
+    shard.roots.erase(root_it);
+  }
 }
 
 std::shared_ptr<const ContextQueryTree::Entry> ContextQueryTree::Lookup(
-    const ContextState& state, uint64_t profile_version,
-    AccessCounter* counter) {
+    const std::string& user, const ContextState& state,
+    uint64_t profile_version, AccessCounter* counter) {
   CacheMetrics& metrics = CacheMetrics::Get();
   TraceSpan span("query_cache.lookup");
   // One clock pair serves both the outcome-dependent hit/miss
@@ -149,20 +172,20 @@ std::shared_ptr<const ContextQueryTree::Entry> ContextQueryTree::Lookup(
   // timing is enabled.
   const bool timed = MetricsRegistry::TimingEnabled();
   const uint64_t start_nanos = timed ? MonotonicNanos() : 0;
-  Shard& shard = ShardFor(state);
+  Shard& shard = ShardFor(user, state);
   std::shared_ptr<const Entry> result;
   bool invalidated = false;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     ++shard.lookups;
-    Node* node = Descend(shard, state, /*create=*/false, counter);
+    Node* node = Descend(shard, user, state, /*create=*/false, counter);
     if (node == nullptr || node->leaf == nullptr) {
       ++shard.misses;
       ++shard.pending_misses;
     } else if (node->leaf->version != profile_version) {
       // Stale: computed against an older profile. Drop on touch.
       shard.lru.erase(node->leaf->lru_it);
-      RemovePath(shard, state);
+      RemovePath(shard, user, state);
       --shard.size;
       ++shard.misses;
       ++shard.invalidations;
@@ -201,7 +224,8 @@ std::shared_ptr<const ContextQueryTree::Entry> ContextQueryTree::Lookup(
   return result;
 }
 
-void ContextQueryTree::Put(const ContextState& state, uint64_t profile_version,
+void ContextQueryTree::Put(const std::string& user, const ContextState& state,
+                           uint64_t profile_version,
                            std::vector<db::ScoredTuple> tuples,
                            std::vector<CandidatePath> candidates) {
   CacheMetrics& metrics = CacheMetrics::Get();
@@ -209,9 +233,9 @@ void ContextQueryTree::Put(const ContextState& state, uint64_t profile_version,
   ScopedLatency latency(&metrics.put_latency);
   auto entry = std::make_shared<const Entry>(
       Entry{std::move(tuples), std::move(candidates)});
-  Shard& shard = ShardFor(state);
+  Shard& shard = ShardFor(user, state);
   std::lock_guard<std::mutex> lock(shard.mu);
-  Node* node = Descend(shard, state, /*create=*/true, nullptr);
+  Node* node = Descend(shard, user, state, /*create=*/true, nullptr);
   if (node->leaf != nullptr) {
     // Overwrite in place; readers holding the old snapshot keep it.
     node->leaf->entry = std::move(entry);
@@ -219,7 +243,7 @@ void ContextQueryTree::Put(const ContextState& state, uint64_t profile_version,
     shard.lru.splice(shard.lru.begin(), shard.lru, node->leaf->lru_it);
     return;
   }
-  shard.lru.push_front(state);
+  shard.lru.push_front(EntryKey{user, state});
   node->leaf = std::make_unique<Leaf>();
   node->leaf->entry = std::move(entry);
   node->leaf->version = profile_version;
@@ -227,19 +251,53 @@ void ContextQueryTree::Put(const ContextState& state, uint64_t profile_version,
   ++shard.size;
 
   if (shard_capacity_ > 0 && shard.size > shard_capacity_) {
-    const ContextState victim = shard.lru.back();
+    const EntryKey victim = shard.lru.back();
     shard.lru.pop_back();
-    RemovePath(shard, victim);
+    RemovePath(shard, victim.user, victim.state);
     --shard.size;
     ++shard.evictions;
     metrics.evictions.Increment();
   }
 }
 
+size_t ContextQueryTree::InvalidateUser(const std::string& user) {
+  CacheMetrics& metrics = CacheMetrics::Get();
+  TraceSpan span("query_cache.invalidate_user");
+  size_t dropped = 0;
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    auto root_it = shard->roots.find(user);
+    if (root_it == shard->roots.end()) continue;
+    // Dropping the user's whole trie frees every leaf at once; the LRU
+    // list is then swept of the user's keys (each leaf owns exactly one
+    // LRU node, so the sweep count equals the leaves dropped).
+    shard->roots.erase(root_it);
+    size_t in_shard = 0;
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (it->user == user) {
+        it = shard->lru.erase(it);
+        ++in_shard;
+      } else {
+        ++it;
+      }
+    }
+    shard->size -= in_shard;
+    shard->invalidations += in_shard;
+    dropped += in_shard;
+  }
+  if (dropped > 0) {
+    metrics.invalidations.Increment(dropped);
+  }
+  if (span.active()) {
+    span.Tag("dropped", static_cast<uint64_t>(dropped));
+  }
+  return dropped;
+}
+
 void ContextQueryTree::InvalidateAll() {
   for (std::unique_ptr<Shard>& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    shard->root = std::make_unique<Node>();
+    shard->roots.clear();
     shard->lru.clear();
     shard->size = 0;
   }
@@ -294,13 +352,14 @@ struct PerStateResult {
 PerStateResult EvaluateState(const db::Relation& relation,
                              const ContextState& s,
                              const TreeResolver& resolver,
-                             const Profile& profile, ContextQueryTree& cache,
+                             const std::string& cache_user,
+                             uint64_t profile_version, ContextQueryTree& cache,
                              const QueryOptions& options,
                              AccessCounter* counter) {
   PerStateResult out;
   TraceSpan span("cached_rank_cs.state");
   std::shared_ptr<const ContextQueryTree::Entry> cached =
-      cache.Lookup(s, profile.version(), counter);
+      cache.Lookup(cache_user, s, profile_version, counter);
   if (cached != nullptr) {
     out.tuples = cached->tuples;
     out.candidates = cached->candidates;
@@ -327,7 +386,7 @@ PerStateResult EvaluateState(const db::Relation& relation,
   }
   out.tuples = state_ranker.Ranked();
   out.candidates = std::move(best);
-  cache.Put(s, profile.version(), out.tuples, out.candidates);
+  cache.Put(cache_user, s, profile_version, out.tuples, out.candidates);
   return out;
 }
 
@@ -336,7 +395,8 @@ PerStateResult EvaluateState(const db::Relation& relation,
 StatusOr<QueryResult> CachedRankCS(const db::Relation& relation,
                                    const ContextualQuery& query,
                                    const TreeResolver& resolver,
-                                   const Profile& profile,
+                                   const std::string& cache_user,
+                                   uint64_t profile_version,
                                    ContextQueryTree& cache,
                                    const QueryOptions& options,
                                    AccessCounter* counter) {
@@ -364,8 +424,8 @@ StatusOr<QueryResult> CachedRankCS(const db::Relation& relation,
   const size_t threads = std::min(options.num_threads, states.size());
   if (options.pool == nullptr && threads <= 1) {
     for (size_t i = 0; i < states.size(); ++i) {
-      per_state[i] = EvaluateState(relation, states[i], resolver, profile,
-                                   cache, options, counter);
+      per_state[i] = EvaluateState(relation, states[i], resolver, cache_user,
+                                   profile_version, cache, options, counter);
     }
   } else {
     // A shared pool may be running other queries' tasks, so completion
@@ -388,8 +448,8 @@ StatusOr<QueryResult> CachedRankCS(const db::Relation& relation,
       pool->Submit([&, i] {
         PerStateResult r;
         try {
-          r = EvaluateState(relation, states[i], resolver, profile, cache,
-                            options, counter);
+          r = EvaluateState(relation, states[i], resolver, cache_user,
+                            profile_version, cache, options, counter);
         } catch (const std::exception& e) {
           r.status = Status::Internal(e.what());
         } catch (...) {
@@ -436,6 +496,20 @@ StatusOr<QueryResult> CachedRankCS(const db::Relation& relation,
     span.Tag("tuples", static_cast<uint64_t>(result.tuples.size()));
   }
   return result;
+}
+
+StatusOr<QueryResult> CachedRankCS(const db::Relation& relation,
+                                   const ContextualQuery& query,
+                                   const TreeResolver& resolver,
+                                   const Profile& profile,
+                                   ContextQueryTree& cache,
+                                   const QueryOptions& options,
+                                   AccessCounter* counter) {
+  // Single-tenant form: the profile's own mutation counter is the
+  // version tag. Sound only while this same Profile object is both
+  // served and edited in place — see the header comment.
+  return CachedRankCS(relation, query, resolver, options.cache_user,
+                      profile.version(), cache, options, counter);
 }
 
 }  // namespace ctxpref

@@ -4,6 +4,8 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "db/ranker.h"
@@ -25,9 +27,11 @@ struct CacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
-  /// Stale-version drops: entries removed on touch because the profile
-  /// moved past the version they were computed at. Every invalidation
-  /// is also counted as a miss (the caller still has to recompute).
+  /// Version-skew drops: entries removed on touch because the profile
+  /// moved past the version they were computed at (each such drop is
+  /// also counted as a miss — the caller still has to recompute), plus
+  /// entries dropped eagerly by `InvalidateUser` when a user's profile
+  /// is swapped (those are not misses; no lookup happened).
   uint64_t invalidations = 0;
   size_t size = 0;
 
@@ -40,15 +44,25 @@ struct CacheStats {
 /// the published text — this is our documented reconstruction, see
 /// DESIGN.md).
 ///
-/// Structure: `num_shards` tries, each isomorphic to the profile tree
-/// and keyed by *query* context states; a state's shard is chosen by
-/// hashing its component values, so concurrent queries over different
-/// states mostly touch different locks (striped-lock pattern). Each
-/// shard holds its own mutex, LRU list and capacity slice; each leaf
-/// caches the ranked tuples and winning resolution candidates
-/// previously computed for that state. Entries are validated against
-/// the profile `version()` they were computed from and evicted LRU
-/// beyond the shard capacity.
+/// Structure: `num_shards` collections of tries; within a shard every
+/// *user* owns one trie isomorphic to the profile tree and keyed by
+/// *query* context states. A `(user, state)` pair's shard is chosen by
+/// hashing the user id with the state's component values, so concurrent
+/// queries over different users/states mostly touch different locks
+/// (striped-lock pattern). Each shard holds its own mutex, LRU list and
+/// capacity slice; each leaf caches the ranked tuples and winning
+/// resolution candidates previously computed for that `(user, state)`.
+/// Entries are tagged with the profile version they were computed from
+/// — for server-side multi-user serving that is the `ProfileStore`
+/// *serving* version of the published `ProfileSnapshot`, which is
+/// monotone across reloads and user re-creation (`Profile::version()`
+/// restarts on reload and can collide; see docs/serving.md) — and are
+/// dropped on touch when the version moved, or eagerly by
+/// `InvalidateUser` when a new profile version is published. Beyond the
+/// shard capacity, entries are evicted LRU.
+///
+/// The single-user entry points (no user id) are sugar for the empty
+/// user id "".
 ///
 /// Thread safety: all public methods are safe to call concurrently.
 /// `Lookup` returns a shared_ptr snapshot, so a reader may keep using
@@ -99,31 +113,62 @@ class ContextQueryTree {
   uint64_t evictions() const { return Stats().evictions; }
   uint64_t invalidations() const { return Stats().invalidations; }
 
-  /// Returns the cached entry for `state` if present and computed at
-  /// `profile_version`; stale entries are dropped on touch (counted as
-  /// both a miss and an invalidation). Ticks `counter` per inspected
-  /// cell (the cache costs cells too). The returned snapshot stays
-  /// valid after concurrent mutations.
-  std::shared_ptr<const Entry> Lookup(const ContextState& state,
+  /// Returns the cached entry for `user`'s `state` if present and
+  /// computed at `profile_version`; stale entries are dropped on touch
+  /// (counted as both a miss and an invalidation). Ticks `counter` per
+  /// inspected cell (the cache costs cells too). The returned snapshot
+  /// stays valid after concurrent mutations.
+  std::shared_ptr<const Entry> Lookup(const std::string& user,
+                                      const ContextState& state,
                                       uint64_t profile_version,
                                       AccessCounter* counter = nullptr);
 
+  /// Single-user sugar: `Lookup("", state, ...)`.
+  std::shared_ptr<const Entry> Lookup(const ContextState& state,
+                                      uint64_t profile_version,
+                                      AccessCounter* counter = nullptr) {
+    return Lookup(std::string(), state, profile_version, counter);
+  }
+
   /// Caches `tuples` (and the resolution `candidates` that produced
-  /// them) for `state` at `profile_version`, evicting the shard's
-  /// least-recently-used state beyond the shard capacity.
-  void Put(const ContextState& state, uint64_t profile_version,
-           std::vector<db::ScoredTuple> tuples,
+  /// them) for `user`'s `state` at `profile_version`, evicting the
+  /// shard's least-recently-used entry beyond the shard capacity.
+  void Put(const std::string& user, const ContextState& state,
+           uint64_t profile_version, std::vector<db::ScoredTuple> tuples,
            std::vector<CandidatePath> candidates = {});
 
-  /// Drops every cached entry (counters are kept).
+  /// Single-user sugar: `Put("", state, ...)`.
+  void Put(const ContextState& state, uint64_t profile_version,
+           std::vector<db::ScoredTuple> tuples,
+           std::vector<CandidatePath> candidates = {}) {
+    Put(std::string(), state, profile_version, std::move(tuples),
+        std::move(candidates));
+  }
+
+  /// Eagerly drops every cached entry of `user` — the invalidation hook
+  /// `ProfileStore` fires when it publishes a new profile version for
+  /// that user (stale entries would otherwise linger until touched,
+  /// holding memory for results no published profile can produce).
+  /// Returns the number of entries dropped; each is counted as an
+  /// invalidation (but not a miss). Safe to call concurrently with
+  /// lookups: readers holding entry snapshots keep them.
+  size_t InvalidateUser(const std::string& user);
+
+  /// Drops every cached entry of every user (counters are kept).
   void InvalidateAll();
 
  private:
   struct Node;
+  /// LRU identity of one cached entry: which user's trie it lives in
+  /// and under which state path.
+  struct EntryKey {
+    std::string user;
+    ContextState state;
+  };
   struct Leaf {
     std::shared_ptr<const Entry> entry;
     uint64_t version = 0;
-    std::list<ContextState>::iterator lru_it;
+    std::list<EntryKey>::iterator lru_it;
   };
   struct Node {
     struct Cell {
@@ -134,11 +179,14 @@ class ContextQueryTree {
     std::unique_ptr<Leaf> leaf;  // Set on leaf nodes only.
   };
 
-  /// One lock stripe: an independent trie + LRU + counters.
+  /// One lock stripe: per-user tries + LRU + counters.
   struct Shard {
     mutable std::mutex mu;
-    std::unique_ptr<Node> root;
-    std::list<ContextState> lru;  ///< Front = most recently used.
+    /// One trie per user whose entries hashed into this shard; a
+    /// user's trie is erased when its last entry goes (so an inactive
+    /// user costs nothing).
+    std::unordered_map<std::string, std::unique_ptr<Node>> roots;
+    std::list<EntryKey> lru;  ///< Front = most recently used.
     size_t size = 0;
     uint64_t lookups = 0;
     uint64_t hits = 0;
@@ -159,14 +207,18 @@ class ContextQueryTree {
     LatencyHistogram lookup_latency;
   };
 
-  Shard& ShardFor(const ContextState& state);
+  Shard& ShardFor(const std::string& user, const ContextState& state);
 
-  /// Shard-local trie walk; caller holds the shard mutex.
-  Node* Descend(Shard& shard, const ContextState& state, bool create,
+  /// Shard-local trie walk within `user`'s trie; caller holds the
+  /// shard mutex.
+  Node* Descend(Shard& shard, const std::string& user,
+                const ContextState& state, bool create,
                 AccessCounter* counter);
-  /// Removes the path for `state` from the shard's trie, pruning empty
-  /// nodes; caller holds the shard mutex.
-  void RemovePath(Shard& shard, const ContextState& state);
+  /// Removes the path for `state` from `user`'s trie, pruning empty
+  /// nodes (and the trie itself once empty); caller holds the shard
+  /// mutex.
+  void RemovePath(Shard& shard, const std::string& user,
+                  const ContextState& state);
 
   EnvironmentPtr env_;
   Ordering order_;
@@ -184,6 +236,25 @@ class ContextQueryTree {
 /// With `options.num_threads` > 1 the states are evaluated on a worker
 /// pool and merged in state-enumeration order, so the result (tuples
 /// and traces) is bit-identical to the single-threaded run.
+///
+/// The multi-user serving layer (`storage::ServeQuery`) calls the
+/// explicit-version overload with the user id and the *serving*
+/// version of a pinned `ProfileSnapshot`, so cache entries are tagged
+/// `{user, serving version}` and can never be confused across users or
+/// across profile swaps. The `Profile&` overload is the single-tenant
+/// form: it tags entries with `options.cache_user` (default "") and
+/// the profile's own mutation counter `profile.version()` — fine while
+/// the same `Profile` object serves and is edited in place, unsound
+/// across wholesale profile replacement (see docs/serving.md).
+StatusOr<QueryResult> CachedRankCS(const db::Relation& relation,
+                                   const ContextualQuery& query,
+                                   const TreeResolver& resolver,
+                                   const std::string& cache_user,
+                                   uint64_t profile_version,
+                                   ContextQueryTree& cache,
+                                   const QueryOptions& options = {},
+                                   AccessCounter* counter = nullptr);
+
 StatusOr<QueryResult> CachedRankCS(const db::Relation& relation,
                                    const ContextualQuery& query,
                                    const TreeResolver& resolver,

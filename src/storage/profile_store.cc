@@ -2,13 +2,90 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <utility>
 
 #include "storage/profile_io.h"
-#include "util/string_util.h"
+#include "util/metrics.h"
 
 namespace ctxpref::storage {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/// Serving-layer metrics (docs/observability.md). The live-snapshot
+/// gauge is maintained by `ProfileSnapshot`'s ctor/dtor so it counts
+/// every snapshot still pinned anywhere, not just the current ones.
+struct ServingMetrics {
+  Counter& swaps;
+  Gauge& live_snapshots;
+  Gauge& snapshot_age;
+  Gauge& users;
+
+  static ServingMetrics& Get() {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    static ServingMetrics* m = new ServingMetrics{
+        reg.GetCounter("ctxpref_profile_swaps_total",
+                       "Profile snapshots published (create + update + "
+                       "reload)"),
+        reg.GetGauge("ctxpref_profile_live_snapshots",
+                     "ProfileSnapshot objects alive (current + pinned)"),
+        reg.GetGauge("ctxpref_profile_snapshot_age_ns",
+                     "Serving age of the snapshot most recently replaced "
+                     "(publish-to-replacement, ns)"),
+        reg.GetGauge("ctxpref_profile_store_users",
+                     "Users currently in the ProfileStore"),
+    };
+    return *m;
+  }
+};
+
+}  // namespace
+
+ProfileSnapshot::ProfileSnapshot(std::string user_id, uint64_t serving_version,
+                                 std::shared_ptr<const Profile> profile,
+                                 std::shared_ptr<const ProfileTree> tree)
+    : user_id_(std::move(user_id)),
+      serving_version_(serving_version),
+      profile_(std::move(profile)),
+      tree_(std::move(tree)),
+      publish_nanos_(MonotonicNanos()) {
+  ServingMetrics::Get().live_snapshots.Add(1);
+}
+
+ProfileSnapshot::~ProfileSnapshot() {
+  ServingMetrics::Get().live_snapshots.Add(-1);
+}
+
+ProfileStore::ProfileStore(EnvironmentPtr env) : env_(std::move(env)) {}
+
+ProfileStore::~ProfileStore() {
+  if (!users_.empty()) {
+    ServingMetrics::Get().users.Add(-static_cast<int64_t>(users_.size()));
+  }
+}
+
+ProfileStore::ProfileStore(ProfileStore&& other) noexcept
+    : env_(std::move(other.env_)), users_(std::move(other.users_)) {
+  version_counter_.store(other.version_counter_.load());
+  cache_.store(other.cache_.load());
+  other.users_.clear();
+  other.cache_.store(nullptr);
+}
+
+ProfileStore& ProfileStore::operator=(ProfileStore&& other) noexcept {
+  if (this == &other) return *this;
+  if (!users_.empty()) {
+    ServingMetrics::Get().users.Add(-static_cast<int64_t>(users_.size()));
+  }
+  env_ = std::move(other.env_);
+  users_ = std::move(other.users_);
+  version_counter_.store(other.version_counter_.load());
+  cache_.store(other.cache_.load());
+  other.users_.clear();
+  other.cache_.store(nullptr);
+  return *this;
+}
 
 Status ProfileStore::ValidateUserId(const std::string& user_id) {
   if (user_id.empty()) {
@@ -19,6 +96,40 @@ Status ProfileStore::ValidateUserId(const std::string& user_id) {
       user_id.find('\\') != std::string::npos) {
     return Status::InvalidArgument("user id '" + user_id +
                                    "' cannot name a file");
+  }
+  return Status::OK();
+}
+
+size_t ProfileStore::size() const {
+  std::shared_lock<std::shared_mutex> lock(users_mu_);
+  return users_.size();
+}
+
+Status ProfileStore::BuildAndPublish(User& user, const std::string& user_id,
+                                     Profile profile) {
+  // Build the tree off to the side: readers keep serving the current
+  // snapshot through any build failure.
+  StatusOr<ProfileTree> tree = ProfileTree::Build(profile);
+  if (!tree.ok()) return tree.status();
+  const uint64_t version =
+      version_counter_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  auto snapshot = std::make_shared<const ProfileSnapshot>(
+      user_id, version,
+      std::make_shared<const Profile>(std::move(profile)),
+      std::make_shared<const ProfileTree>(std::move(*tree)));
+  SnapshotPtr old = user.Swap(std::move(snapshot));
+  ServingMetrics& metrics = ServingMetrics::Get();
+  metrics.swaps.Increment();
+  if (old != nullptr) {
+    metrics.snapshot_age.Set(
+        static_cast<int64_t>(MonotonicNanos() - old->publish_nanos()));
+  }
+  // Eager invalidation: entries computed from the retired snapshot are
+  // dropped now rather than lingering until touched. Any lookup racing
+  // ahead of this call still cannot be served stale data — entries are
+  // version-tagged and the new serving version never equals the old.
+  if (ContextQueryTree* cache = cache_.load(std::memory_order_acquire)) {
+    cache->InvalidateUser(user_id);
   }
   return Status::OK();
 }
@@ -34,47 +145,111 @@ Status ProfileStore::CreateUser(const std::string& user_id, Profile initial) {
         "profile for user '" + user_id +
         "' was built over a different context environment");
   }
+  std::unique_lock<std::shared_mutex> lock(users_mu_);
   auto [it, inserted] = users_.try_emplace(user_id);
   if (!inserted) {
     return Status::AlreadyExists("user '" + user_id + "' already exists");
   }
-  it->second.profile = std::make_unique<Profile>(std::move(initial));
+  it->second = std::make_unique<User>();
+  Status published =
+      BuildAndPublish(*it->second, user_id, std::move(initial));
+  if (!published.ok()) {
+    users_.erase(it);  // Creation is all-or-nothing.
+    return published;
+  }
+  ServingMetrics::Get().users.Add(1);
   return Status::OK();
 }
 
-StatusOr<Profile*> ProfileStore::GetProfile(const std::string& user_id) {
+StatusOr<SnapshotPtr> ProfileStore::GetSnapshot(
+    const std::string& user_id) const {
+  std::shared_lock<std::shared_mutex> lock(users_mu_);
   auto it = users_.find(user_id);
   if (it == users_.end()) {
     return Status::NotFound("no user '" + user_id + "'");
   }
-  return it->second.profile.get();
+  return it->second->Pin();
+}
+
+StatusOr<const Profile*> ProfileStore::GetProfile(
+    const std::string& user_id) const {
+  StatusOr<SnapshotPtr> snapshot = GetSnapshot(user_id);
+  if (!snapshot.ok()) return snapshot.status();
+  // The store keeps the current snapshot alive until the next publish,
+  // so handing out the raw pointer honors the documented lifetime.
+  return &(*snapshot)->profile();
 }
 
 StatusOr<const ProfileTree*> ProfileStore::GetTree(
-    const std::string& user_id) {
+    const std::string& user_id) const {
+  StatusOr<SnapshotPtr> snapshot = GetSnapshot(user_id);
+  if (!snapshot.ok()) return snapshot.status();
+  return &(*snapshot)->tree();
+}
+
+Status ProfileStore::UpdateUser(const std::string& user_id,
+                                const std::function<Status(Profile&)>& edit) {
+  std::shared_lock<std::shared_mutex> lock(users_mu_);
   auto it = users_.find(user_id);
   if (it == users_.end()) {
     return Status::NotFound("no user '" + user_id + "'");
   }
-  User& user = it->second;
-  if (!user.tree.has_value() ||
-      user.tree_version != user.profile->version()) {
-    StatusOr<ProfileTree> tree = ProfileTree::Build(*user.profile);
-    if (!tree.ok()) return tree.status();
-    user.tree.emplace(std::move(*tree));
-    user.tree_version = user.profile->version();
+  User& user = *it->second;
+  std::lock_guard<std::mutex> write_lock(user.write_mu);
+  // Copy-on-write: mutate a private copy; readers keep the current
+  // snapshot until the publish below.
+  SnapshotPtr current = user.Pin();
+  Profile draft = current->profile();
+  CTXPREF_RETURN_IF_ERROR(edit(draft));
+  return BuildAndPublish(user, user_id, std::move(draft));
+}
+
+Status ProfileStore::PublishProfile(const std::string& user_id,
+                                    Profile profile) {
+  if (&profile.env() != env_.get()) {
+    return Status::InvalidArgument(
+        "profile for user '" + user_id +
+        "' was built over a different context environment");
   }
-  return &*user.tree;
+  std::shared_lock<std::shared_mutex> lock(users_mu_);
+  auto it = users_.find(user_id);
+  if (it == users_.end()) {
+    return Status::NotFound("no user '" + user_id + "'");
+  }
+  User& user = *it->second;
+  std::lock_guard<std::mutex> write_lock(user.write_mu);
+  return BuildAndPublish(user, user_id, std::move(profile));
+}
+
+Status ProfileStore::ReloadUser(const std::string& user_id,
+                                const std::string& dir) {
+  // Parse fully before touching the live snapshot: any Load error
+  // returns here with readers unaffected.
+  StatusOr<Profile> loaded =
+      ReadProfileFile(env_, dir + "/" + user_id + ".profile");
+  if (!loaded.ok()) return loaded.status();
+  return PublishProfile(user_id, std::move(*loaded));
 }
 
 Status ProfileStore::RemoveUser(const std::string& user_id) {
-  if (users_.erase(user_id) == 0) {
-    return Status::NotFound("no user '" + user_id + "'");
+  {
+    std::unique_lock<std::shared_mutex> lock(users_mu_);
+    if (users_.erase(user_id) == 0) {
+      return Status::NotFound("no user '" + user_id + "'");
+    }
+  }
+  ServingMetrics::Get().users.Add(-1);
+  // Drop the removed user's cached results; a later user with the same
+  // id gets fresh serving versions anyway (the counter never reuses
+  // values), so this is hygiene, not correctness.
+  if (ContextQueryTree* cache = cache_.load(std::memory_order_acquire)) {
+    cache->InvalidateUser(user_id);
   }
   return Status::OK();
 }
 
 std::vector<std::string> ProfileStore::UserIds() const {
+  std::shared_lock<std::shared_mutex> lock(users_mu_);
   std::vector<std::string> out;
   out.reserve(users_.size());
   for (const auto& [id, user] : users_) out.push_back(id);
@@ -86,9 +261,13 @@ Status ProfileStore::SaveAll(const std::string& dir) const {
   if (!fs::is_directory(dir, ec)) {
     return Status::InvalidArgument("'" + dir + "' is not a directory");
   }
-  for (const auto& [id, user] : users_) {
-    CTXPREF_RETURN_IF_ERROR(
-        WriteProfileFile(*user.profile, dir + "/" + id + ".profile"));
+  // Snapshot the id list, then save each user's pinned snapshot without
+  // holding the map lock across file I/O.
+  for (const std::string& id : UserIds()) {
+    StatusOr<SnapshotPtr> snapshot = GetSnapshot(id);
+    if (!snapshot.ok()) continue;  // Removed concurrently; skip.
+    CTXPREF_RETURN_IF_ERROR(WriteProfileFile((*snapshot)->profile(),
+                                             dir + "/" + id + ".profile"));
   }
   return Status::OK();
 }
@@ -117,25 +296,6 @@ StatusOr<ProfileStore> ProfileStore::LoadDir(EnvironmentPtr env,
         store.CreateUser(file.stem().string(), std::move(*profile)));
   }
   return store;
-}
-
-Status ProfileStore::ReloadUser(const std::string& user_id,
-                                const std::string& dir) {
-  auto it = users_.find(user_id);
-  if (it == users_.end()) {
-    return Status::NotFound("no user '" + user_id + "'");
-  }
-  // Parse fully before touching the live profile: any Load error
-  // returns here with the in-memory state unchanged.
-  StatusOr<Profile> loaded =
-      ReadProfileFile(env_, dir + "/" + user_id + ".profile");
-  if (!loaded.ok()) return loaded.status();
-  // Swap contents in place so pointers handed out by GetProfile stay
-  // valid. Drop the cached tree outright: the loaded profile's version
-  // counter restarts and could collide with the cached one.
-  *it->second.profile = std::move(*loaded);
-  it->second.tree.reset();
-  return Status::OK();
 }
 
 }  // namespace ctxpref::storage

@@ -1,0 +1,63 @@
+#include "storage/serving.h"
+
+#include "preference/resolution.h"
+#include "util/metrics.h"
+
+namespace ctxpref::storage {
+
+namespace {
+
+LatencyHistogram& ReaderPinHistogram() {
+  static LatencyHistogram* h = &MetricsRegistry::Global().GetHistogram(
+      "ctxpref_profile_reader_pin_ns",
+      "How long readers keep a ProfileSnapshot pinned");
+  return *h;
+}
+
+}  // namespace
+
+SnapshotPin::SnapshotPin(SnapshotPtr snapshot)
+    : snapshot_(std::move(snapshot)),
+      start_nanos_(MetricsRegistry::TimingEnabled() ? MonotonicNanos() : 0) {}
+
+SnapshotPin::~SnapshotPin() {
+  if (start_nanos_ != 0 && snapshot_ != nullptr) {
+    ReaderPinHistogram().Record(MonotonicNanos() - start_nanos_);
+  }
+}
+
+StatusOr<QueryResult> ServeQuery(const ProfileSnapshot& snapshot,
+                                 const db::Relation& relation,
+                                 const ContextualQuery& query,
+                                 ContextQueryTree* cache,
+                                 const QueryOptions& options,
+                                 AccessCounter* counter) {
+  TreeResolver resolver(&snapshot.tree());
+  if (cache != nullptr) {
+    // Tag entries with the snapshot's own identity, never
+    // options.cache_user / Profile::version(): the serving version is
+    // unique across swaps, so a stale entry can never be mistaken for
+    // a current one.
+    return CachedRankCS(relation, query, resolver, snapshot.user_id(),
+                        snapshot.serving_version(), *cache, options, counter);
+  }
+  return RankCS(relation, query, resolver, options, counter);
+}
+
+StatusOr<ServedQuery> ServeQuery(const ProfileStore& store,
+                                 const std::string& user_id,
+                                 const db::Relation& relation,
+                                 const ContextualQuery& query,
+                                 ContextQueryTree* cache,
+                                 const QueryOptions& options,
+                                 AccessCounter* counter) {
+  StatusOr<SnapshotPtr> snapshot = store.GetSnapshot(user_id);
+  if (!snapshot.ok()) return snapshot.status();
+  SnapshotPin pin(*snapshot);
+  StatusOr<QueryResult> result =
+      ServeQuery(*pin, relation, query, cache, options, counter);
+  if (!result.ok()) return result.status();
+  return ServedQuery{std::move(*result), pin.snapshot()};
+}
+
+}  // namespace ctxpref::storage

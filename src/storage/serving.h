@@ -1,0 +1,81 @@
+#ifndef CTXPREF_STORAGE_SERVING_H_
+#define CTXPREF_STORAGE_SERVING_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "preference/contextual_query.h"
+#include "preference/query_cache.h"
+#include "storage/profile_store.h"
+#include "util/counters.h"
+#include "util/status.h"
+
+namespace ctxpref::storage {
+
+/// RAII pin on a `ProfileSnapshot`: holds the snapshot alive for the
+/// duration of a read (one or more ranked queries) and records the pin
+/// duration into `ctxpref_profile_reader_pin_ns` on release — the
+/// histogram that tells an operator how long retired snapshots can
+/// stay referenced (and thus how much memory a churning writer can
+/// pin). The duration is recorded only while
+/// `MetricsRegistry::TimingEnabled()`.
+class SnapshotPin {
+ public:
+  explicit SnapshotPin(SnapshotPtr snapshot);
+  ~SnapshotPin();
+
+  SnapshotPin(const SnapshotPin&) = delete;
+  SnapshotPin& operator=(const SnapshotPin&) = delete;
+  SnapshotPin(SnapshotPin&& other) noexcept
+      : snapshot_(std::move(other.snapshot_)),
+        start_nanos_(other.start_nanos_) {
+    other.start_nanos_ = 0;
+  }
+
+  const ProfileSnapshot& operator*() const { return *snapshot_; }
+  const ProfileSnapshot* operator->() const { return snapshot_.get(); }
+  const SnapshotPtr& snapshot() const { return snapshot_; }
+
+ private:
+  SnapshotPtr snapshot_;
+  uint64_t start_nanos_;  ///< 0 = untimed (or moved-from).
+};
+
+/// A ranked answer plus the exact snapshot it was computed from, so
+/// callers can attribute every tuple and trace to one published
+/// profile version (the zero-torn-reads property bench_serving and the
+/// concurrency tests check).
+struct ServedQuery {
+  QueryResult result;
+  SnapshotPtr snapshot;
+};
+
+/// The multi-user serving entry point: pins `user_id`'s current
+/// snapshot, ranks `query` against that one immutable profile-tree
+/// version, and returns the answer together with the snapshot it came
+/// from. With `cache` non-null the per-state results go through
+/// `CachedRankCS`, tagged `{user_id, serving version}` — safe across
+/// concurrent profile swaps (see docs/serving.md); with `cache` null
+/// it is a plain uncached `RankCS`. `options.cache_user` is ignored:
+/// the snapshot's user id is authoritative here.
+StatusOr<ServedQuery> ServeQuery(const ProfileStore& store,
+                                 const std::string& user_id,
+                                 const db::Relation& relation,
+                                 const ContextualQuery& query,
+                                 ContextQueryTree* cache = nullptr,
+                                 const QueryOptions& options = {},
+                                 AccessCounter* counter = nullptr);
+
+/// Ranks against an already-pinned snapshot — the form for callers
+/// that run several queries against one consistent version.
+StatusOr<QueryResult> ServeQuery(const ProfileSnapshot& snapshot,
+                                 const db::Relation& relation,
+                                 const ContextualQuery& query,
+                                 ContextQueryTree* cache = nullptr,
+                                 const QueryOptions& options = {},
+                                 AccessCounter* counter = nullptr);
+
+}  // namespace ctxpref::storage
+
+#endif  // CTXPREF_STORAGE_SERVING_H_

@@ -81,4 +81,11 @@ std::string FormatDouble(double v, int precision) {
   return out;
 }
 
+std::string FormatDoubleRoundTrip(double v) {
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc()) return FormatDouble(v, 17);
+  return std::string(buf, ptr);
+}
+
 }  // namespace ctxpref

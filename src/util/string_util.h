@@ -36,6 +36,11 @@ bool ParseInt64(std::string_view s, int64_t* out);
 /// zeros ("0.9", not "0.900000").
 std::string FormatDouble(double v, int precision = 6);
 
+/// Formats a double with the shortest decimal representation that
+/// parses back (via `ParseDouble`) to the exact same bits. Use for
+/// serialization; `FormatDouble` is for display.
+std::string FormatDoubleRoundTrip(double v);
+
 }  // namespace ctxpref
 
 #endif  // CTXPREF_UTIL_STRING_UTIL_H_

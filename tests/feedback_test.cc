@@ -5,6 +5,8 @@
 #include <cmath>
 
 #include "preference/explain.h"
+#include "preference/query_cache.h"
+#include "storage/profile_store.h"
 #include "tests/test_util.h"
 #include "workload/poi_dataset.h"
 
@@ -161,6 +163,40 @@ TEST_F(FeedbackTest, BatchAccumulates) {
   ASSERT_OK(outcome.status());
   EXPECT_TRUE(outcome->created);       // First event bootstraps...
   EXPECT_GE(outcome->rescored, 1u);    // ...second one rescored it.
+}
+
+TEST_F(FeedbackTest, FeedbackFlowsThroughCopyOnWriteStore) {
+  // Feedback is a store writer like any other: routed through
+  // `UpdateUser` it rescores a copy off to the side, publishes a new
+  // serving version, and never disturbs readers pinned on the old one.
+  storage::ProfileStore store(env_);
+  ContextQueryTree cache(env_, Ordering::Identity(env_->size()));
+  store.AttachQueryCache(&cache);
+  Profile seed(env_);
+  ASSERT_OK(seed.Insert(
+      Pref(*env_, "accompanying_people = friends", "type", "brewery", 0.5)));
+  ASSERT_OK(store.CreateUser("alice", std::move(seed)));
+
+  StatusOr<storage::SnapshotPtr> before = store.GetSnapshot("alice");
+  ASSERT_OK(before.status());
+  const ContextState ctx = State(*env_, {"Plaka", "warm", "friends"});
+  cache.Put("alice", ctx, (*before)->serving_version(), {});
+
+  FeedbackEvent event{ctx, RowOfType("brewery"), +1};
+  ASSERT_OK(store.UpdateUser("alice", [&](Profile& p) {
+    return ApplyFeedback(p, poi_->relation, event).status();
+  }));
+
+  // Readers pinned before the event keep the pre-feedback score...
+  EXPECT_DOUBLE_EQ((*before)->profile().preference(0).score(), 0.5);
+  // ...the published snapshot carries the rescored one...
+  StatusOr<storage::SnapshotPtr> after = store.GetSnapshot("alice");
+  ASSERT_OK(after.status());
+  EXPECT_DOUBLE_EQ((*after)->profile().preference(0).score(), 0.6);
+  EXPECT_GT((*after)->serving_version(), (*before)->serving_version());
+  // ...and the publish dropped alice's cached answers.
+  EXPECT_EQ(cache.Lookup("alice", ctx, (*before)->serving_version()), nullptr);
+  store.AttachQueryCache(nullptr);
 }
 
 TEST_F(FeedbackTest, FeedbackImprovesRankingForTheUser) {

@@ -18,6 +18,7 @@
 #include "preference/query_cache.h"
 #include "storage/env_spec.h"
 #include "storage/profile_store.h"
+#include "storage/serving.h"
 #include "tests/test_util.h"
 #include "workload/default_profiles.h"
 #include "workload/poi_dataset.h"
@@ -75,14 +76,18 @@ TEST_F(IntegrationTest, FullPipeline) {
   }
   ASSERT_EQ(store.size(), 12u);
 
-  StatusOr<Profile*> alice = store.GetProfile("user0");
+  // Edits go through the copy-on-write path: the draft is mutated off
+  // to the side and published as a new snapshot.
+  ASSERT_OK(store.UpdateUser("user0", [&](Profile& p) {
+    CTXPREF_RETURN_IF_ERROR(p.InsertWithPolicy(
+        Pref(**env, "temperature = good", "open_air", "x", 0.0),
+        ConflictPolicy::kKeepExisting));  // Silently dropped (conflict).
+    return p.Insert(Pref(
+        **env, "location = Kolonaki and accompanying_people = friends",
+        "type", "gallery", 0.95));
+  }));
+  StatusOr<const Profile*> alice = store.GetProfile("user0");
   ASSERT_OK(alice.status());
-  ASSERT_OK((*alice)->InsertWithPolicy(
-      Pref(**env, "temperature = good", "open_air", "x", 0.0),
-      ConflictPolicy::kKeepExisting));  // Silently dropped (conflict).
-  ASSERT_OK((*alice)->Insert(Pref(
-      **env, "location = Kolonaki and accompanying_people = friends",
-      "type", "gallery", 0.95)));
 
   ProfileStats stats = ComputeProfileStats(**alice, 300);
   EXPECT_GT(stats.num_preferences, 10u);
@@ -118,6 +123,16 @@ TEST_F(IntegrationTest, FullPipeline) {
   EXPECT_EQ(cached1->tuples, direct->tuples);
   EXPECT_EQ(cached2->tuples, direct->tuples);
   EXPECT_GE(cache.hits(), 1u);
+
+  // The serving layer answers the same query by pinning user0's
+  // current snapshot; its cache entries are tagged with the snapshot's
+  // serving version, so they never mix with the Profile&-overload ones
+  // above.
+  StatusOr<storage::ServedQuery> served =
+      storage::ServeQuery(store, "user0", *relation, query, &cache, options);
+  ASSERT_OK(served.status());
+  EXPECT_EQ(served->result.tuples, direct->tuples);
+  EXPECT_EQ(served->snapshot->user_id(), "user0");
 
   // The top tuple has at least one contribution whose clause it
   // satisfies, and the text names the matched state.

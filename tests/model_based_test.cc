@@ -6,6 +6,8 @@
 #include <list>
 #include <map>
 #include <optional>
+#include <string>
+#include <utility>
 
 #include "db/ranker.h"
 #include "preference/query_cache.h"
@@ -116,6 +118,134 @@ TEST_P(CacheModelTest, RandomOpsMatchReferenceLru) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CacheModelTest,
                          ::testing::Values(401, 402, 403, 404));
+
+// ---------------------------------------------------------------------
+// Multi-user ContextQueryTree vs a (user, state)-keyed reference LRU.
+// ---------------------------------------------------------------------
+
+/// The multi-tenant reference: one recency list over (user, state)
+/// pairs, per-entry version tags, and an eager per-user purge.
+class MultiUserReferenceLru {
+ public:
+  using Key = std::pair<std::string, ContextState>;
+
+  explicit MultiUserReferenceLru(size_t capacity) : capacity_(capacity) {}
+
+  const std::vector<db::ScoredTuple>* Lookup(const std::string& user,
+                                             const ContextState& s,
+                                             uint64_t version) {
+    const Key k{user, s};
+    auto it = entries_.find(k);
+    if (it == entries_.end()) return nullptr;
+    if (it->second.version != version) {
+      recency_.remove(k);
+      entries_.erase(it);
+      return nullptr;
+    }
+    Touch(k);
+    return &entries_.find(k)->second.tuples;
+  }
+
+  void Put(const std::string& user, const ContextState& s, uint64_t version,
+           std::vector<db::ScoredTuple> tuples) {
+    const Key k{user, s};
+    auto it = entries_.find(k);
+    if (it != entries_.end()) {
+      it->second = Entry{std::move(tuples), version};
+      Touch(k);
+      return;
+    }
+    entries_.emplace(k, Entry{std::move(tuples), version});
+    recency_.push_front(k);
+    if (capacity_ > 0 && entries_.size() > capacity_) {
+      entries_.erase(recency_.back());
+      recency_.pop_back();
+    }
+  }
+
+  size_t InvalidateUser(const std::string& user) {
+    size_t dropped = 0;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->first.first == user) {
+        recency_.remove(it->first);
+        it = entries_.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+    return dropped;
+  }
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::vector<db::ScoredTuple> tuples;
+    uint64_t version;
+  };
+
+  void Touch(const Key& k) {
+    recency_.remove(k);
+    recency_.push_front(k);
+  }
+
+  size_t capacity_;
+  std::map<Key, Entry> entries_;
+  std::list<Key> recency_;
+};
+
+class MultiUserCacheModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MultiUserCacheModelTest, RandomOpsMatchReference) {
+  EnvironmentPtr env = PaperEnv();
+  constexpr size_t kCapacity = 8;
+  ContextQueryTree cache(env, Ordering::Identity(env->size()), kCapacity,
+                         /*num_shards=*/1);
+  MultiUserReferenceLru reference(kCapacity);
+
+  Rng rng(GetParam());
+  std::vector<ContextState> pool =
+      workload::RandomQueryBatch(*env, 16, GetParam() ^ 0x7777, 0.4);
+  const std::vector<std::string> users = {"alice", "bob", "carol"};
+  // Per-user serving versions, bumped independently — the store's
+  // publish model.
+  std::vector<uint64_t> versions(users.size(), 1);
+
+  for (int step = 0; step < 3000; ++step) {
+    const size_t u = rng.Uniform(users.size());
+    const ContextState& s = pool[rng.Uniform(pool.size())];
+    const double roll = rng.NextDouble();
+    if (roll < 0.4) {
+      std::shared_ptr<const ContextQueryTree::Entry> a =
+          cache.Lookup(users[u], s, versions[u]);
+      const std::vector<db::ScoredTuple>* b =
+          reference.Lookup(users[u], s, versions[u]);
+      ASSERT_EQ(a != nullptr, b != nullptr)
+          << "step " << step << " user " << users[u];
+      if (a != nullptr) {
+        ASSERT_EQ(a->tuples, *b) << "step " << step;
+      }
+    } else if (roll < 0.85) {
+      std::vector<db::ScoredTuple> tuples = {
+          {rng.Uniform(100), rng.NextDouble()}};
+      cache.Put(users[u], s, versions[u], tuples);
+      reference.Put(users[u], s, versions[u], tuples);
+    } else if (roll < 0.95) {
+      ++versions[u];  // Publish without eager invalidation: lazy drops.
+    } else {
+      // Publish with the eager hook: both must drop the same entries.
+      ++versions[u];
+      ASSERT_EQ(cache.InvalidateUser(users[u]),
+                reference.InvalidateUser(users[u]))
+          << "step " << step << " user " << users[u];
+    }
+    ASSERT_EQ(cache.size(), reference.size()) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiUserCacheModelTest,
+                         ::testing::Values(411, 412, 413, 414));
 
 // ---------------------------------------------------------------------
 // Ranker vs brute-force recomputation.

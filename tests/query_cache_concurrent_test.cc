@@ -152,6 +152,75 @@ TEST_F(QueryCacheConcurrentTest, ReadersAndWritersRace) {
   EXPECT_EQ(summed, stats);
 }
 
+/// Per-user writers and readers race a dedicated invalidator thread
+/// calling InvalidateUser round-robin — the eager invalidation path a
+/// ProfileStore publish fires concurrently with serving traffic. Run
+/// under TSan; afterwards the shard accounting must still be exact.
+TEST_F(QueryCacheConcurrentTest, InvalidateUserRacesPerUserTraffic) {
+  ContextQueryTree cache(env_, Ordering::Identity(env_->size()),
+                         /*capacity=*/64, /*num_shards=*/8);
+  std::vector<ContextState> states =
+      workload::RandomQueryBatch(*env_, 16, 4321, 0.0);
+  ASSERT_FALSE(states.empty());
+  const std::vector<std::string> users = {"u0", "u1", "u2", "u3"};
+
+  constexpr int kOpsPerThread = 2000;
+  std::vector<std::jthread> threads;
+  for (size_t u = 0; u < users.size(); ++u) {
+    threads.emplace_back([&, u] {  // Writer for users[u].
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        cache.Put(users[u], states[i % states.size()], 1 + (i % 3),
+                  {{static_cast<db::RowId>(i), 0.5}});
+      }
+    });
+    threads.emplace_back([&, u] {  // Reader for users[u].
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        std::shared_ptr<const ContextQueryTree::Entry> hit =
+            cache.Lookup(users[u], states[i % states.size()], 1 + (i % 3));
+        if (hit != nullptr) {
+          volatile size_t keep = hit->tuples.size();  // Deref snapshot.
+          (void)keep;
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {  // Invalidator: the publish hook.
+    for (int i = 0; i < kOpsPerThread / 4; ++i) {
+      cache.InvalidateUser(users[i % users.size()]);
+    }
+  });
+  threads.clear();  // Join.
+
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.lookups,
+            static_cast<uint64_t>(users.size()) * kOpsPerThread);
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+  EXPECT_LE(stats.size, 64u);
+
+  CacheStats summed;
+  for (size_t shard = 0; shard < cache.num_shards(); ++shard) {
+    const CacheStats s = cache.ShardStats(shard);
+    summed.lookups += s.lookups;
+    summed.hits += s.hits;
+    summed.misses += s.misses;
+    summed.evictions += s.evictions;
+    summed.invalidations += s.invalidations;
+    summed.size += s.size;
+  }
+  EXPECT_EQ(summed, stats);
+
+  // Quiesced: a final targeted invalidation leaves those users empty
+  // while the others' entries survive untouched.
+  const size_t remaining_before = cache.size();
+  cache.InvalidateUser(users[0]);
+  cache.InvalidateUser(users[1]);
+  for (const ContextState& s : states) {
+    EXPECT_EQ(cache.Lookup(users[0], s, 1), nullptr);
+    EXPECT_EQ(cache.Lookup(users[1], s, 1), nullptr);
+  }
+  EXPECT_LE(cache.size(), remaining_before);
+}
+
 TEST_F(QueryCacheConcurrentTest, ConcurrentLookupsOnWarmCacheAllHit) {
   ContextQueryTree cache(env_, Ordering::Identity(env_->size()),
                          /*capacity=*/0, /*num_shards=*/8);

@@ -184,6 +184,71 @@ TEST_F(QueryCacheTest, InvalidateAllDropsEverything) {
             nullptr);
 }
 
+TEST_F(QueryCacheTest, UsersAreIsolatedNamespaces) {
+  ContextQueryTree cache = MakeCache();
+  ContextState s = State(*env_, {"Plaka", "warm", "friends"});
+  cache.Put("alice", s, 1, {{1, 0.9}});
+  cache.Put("bob", s, 1, {{2, 0.4}});
+  // Same state, same version — but each user sees only their entry.
+  std::shared_ptr<const ContextQueryTree::Entry> alice =
+      cache.Lookup("alice", s, 1);
+  std::shared_ptr<const ContextQueryTree::Entry> bob =
+      cache.Lookup("bob", s, 1);
+  ASSERT_NE(alice, nullptr);
+  ASSERT_NE(bob, nullptr);
+  EXPECT_EQ(alice->tuples[0].row_id, 1);
+  EXPECT_EQ(bob->tuples[0].row_id, 2);
+  // The anonymous (single-user sugar) namespace is a third user.
+  EXPECT_EQ(cache.Lookup(s, 1), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST_F(QueryCacheTest, InvalidateUserDropsOnlyThatUser) {
+  ContextQueryTree cache = MakeCache(/*capacity=*/0, /*num_shards=*/4);
+  ContextState a = State(*env_, {"Plaka", "warm", "friends"});
+  ContextState b = State(*env_, {"Kifisia", "hot", "family"});
+  cache.Put("alice", a, 1, {{1, 0.5}});
+  cache.Put("alice", b, 1, {{2, 0.5}});
+  cache.Put("bob", a, 1, {{3, 0.5}});
+  ASSERT_EQ(cache.size(), 3u);
+
+  EXPECT_EQ(cache.InvalidateUser("alice"), 2u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Lookup("alice", a, 1), nullptr);
+  EXPECT_EQ(cache.Lookup("alice", b, 1), nullptr);
+  EXPECT_NE(cache.Lookup("bob", a, 1), nullptr);
+  // Eager drops count as invalidations.
+  EXPECT_GE(cache.invalidations(), 2u);
+  // Invalidating an unknown user is a no-op.
+  EXPECT_EQ(cache.InvalidateUser("carol"), 0u);
+}
+
+TEST_F(QueryCacheTest, EvictionAccountsPerUserEntries) {
+  ContextQueryTree cache = MakeCache(/*capacity=*/2);
+  ContextState s = State(*env_, {"Plaka", "warm", "friends"});
+  cache.Put("alice", s, 1, {{1, 0.5}});
+  cache.Put("bob", s, 1, {{2, 0.5}});
+  cache.Put("carol", s, 1, {{3, 0.5}});  // Evicts alice (LRU).
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Lookup("alice", s, 1), nullptr);
+  EXPECT_NE(cache.Lookup("bob", s, 1), nullptr);
+  EXPECT_NE(cache.Lookup("carol", s, 1), nullptr);
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST_F(QueryCacheTest, VersionTagsAreScopedPerUser) {
+  ContextQueryTree cache = MakeCache();
+  ContextState s = State(*env_, {"Plaka", "warm", "friends"});
+  cache.Put("alice", s, 7, {{1, 0.5}});
+  cache.Put("bob", s, 9, {{2, 0.5}});
+  // Bob's newer version does not disturb alice's tag, and a stale
+  // lookup drops only the touched user's entry.
+  EXPECT_NE(cache.Lookup("alice", s, 7), nullptr);
+  EXPECT_EQ(cache.Lookup("alice", s, 8), nullptr);  // stale drop
+  EXPECT_NE(cache.Lookup("bob", s, 9), nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
 TEST_F(QueryCacheTest, LookupCountsCellAccesses) {
   ContextQueryTree cache = MakeCache();
   ContextState s = State(*env_, {"Plaka", "warm", "friends"});

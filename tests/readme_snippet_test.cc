@@ -1,4 +1,4 @@
-// Keeps the README honest: the quickstart, resilience, and
+// Keeps the README honest: the quickstart, resilience, serving, and
 // observability snippets, almost verbatim (error handling via ASSERT
 // instead of *-deref), must compile and behave as the README claims.
 
@@ -9,6 +9,9 @@
 #include "preference/contextual_query.h"
 #include "preference/explain.h"
 #include "preference/profile_tree.h"
+#include "preference/query_cache.h"
+#include "storage/profile_store.h"
+#include "storage/serving.h"
 #include "tests/test_util.h"
 #include "util/metrics.h"
 #include "util/trace.h"
@@ -129,6 +132,62 @@ TEST(ReadmeSnippetTest, ResilienceSnippetWorksAsAdvertised) {
   EXPECT_EQ(report.params[1].info.provenance, ReadProvenance::kStaleLifted);
   std::string text = ExplainAcquisition(*env, report);
   EXPECT_NE(text.find("stale-lifted-1"), std::string::npos);
+}
+
+TEST(ReadmeSnippetTest, ServingSnippetWorksAsAdvertised) {
+  // "Serving profiles under updates": the README's store + cache +
+  // ServeQuery flow, against the POI environment so the query
+  // actually ranks tuples.
+  StatusOr<workload::PoiDatabase> poi = workload::MakePoiDatabase(60, 1);
+  ASSERT_OK(poi.status());
+  EnvironmentPtr env = poi->env;
+  const db::Relation& relation = poi->relation;
+
+  Profile profile(env);
+  StatusOr<CompositeDescriptor> cod = ParseCompositeDescriptor(
+      *env, "location = Plaka and temperature in {warm, hot}");
+  ASSERT_OK(cod.status());
+  StatusOr<ContextualPreference> pref = ContextualPreference::Create(
+      std::move(*cod),
+      {"name", db::CompareOp::kEq, db::Value("Acropolis")}, 0.8);
+  ASSERT_OK(pref.status());
+  ASSERT_OK(profile.Insert(std::move(*pref)));
+
+  ContextualQuery query;
+  StatusOr<CompositeDescriptor> qcod = ParseCompositeDescriptor(
+      *env, "location = Plaka and temperature = hot");
+  ASSERT_OK(qcod.status());
+  query.context = ExtendedDescriptor::FromComposite(std::move(*qcod));
+
+  // --- the README snippet, ASSERTs in place of *-deref ---
+  storage::ProfileStore store(env);
+  ContextQueryTree cache(env, Ordering::Identity(env->size()));
+  store.AttachQueryCache(&cache);          // publishes invalidate per user
+
+  ASSERT_OK(store.CreateUser("alice", std::move(profile)));
+  ASSERT_OK(store.UpdateUser("alice", [&](Profile& p) {  // copy-on-write
+    return p.UpdateScore(0, 0.95);
+  }));
+
+  StatusOr<storage::ServedQuery> served =
+      storage::ServeQuery(store, "alice", relation, query, &cache);
+  ASSERT_OK(served.status());
+  EXPECT_EQ(served->snapshot->user_id(), "alice");
+  // --- end snippet ---
+
+  // The served answer reflects the post-update score, and the version
+  // it claims is the store's current serving version.
+  ASSERT_EQ(served->result.tuples.size(), 1u);
+  EXPECT_DOUBLE_EQ(served->result.tuples[0].score, 0.95);
+  StatusOr<storage::SnapshotPtr> current = store.GetSnapshot("alice");
+  ASSERT_OK(current.status());
+  EXPECT_EQ(served->snapshot->serving_version(),
+            (*current)->serving_version());
+  // A second serve hits the cache.
+  const uint64_t hits_before = cache.Stats().hits;
+  ASSERT_OK(
+      storage::ServeQuery(store, "alice", relation, query, &cache).status());
+  EXPECT_GT(cache.Stats().hits, hits_before);
 }
 
 TEST(ReadmeSnippetTest, ObservabilitySnippetWorksAsAdvertised) {

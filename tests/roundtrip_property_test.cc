@@ -1,0 +1,245 @@
+// Property-based round-trip tests (ISSUE 5): thousands of seeded
+// random hierarchies, descriptors, and profiles, asserting
+//   Parse(ToString(x)) == x      for parameter/composite/extended
+//                                descriptors,
+//   FromText(ToText(p)) == p     for the profile text format, and
+//   Deserialize(Serialize(p)) == p  for the binary profile_io format.
+// Every failure message carries the seed, so a red run is a one-line
+// local repro.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "context/descriptor.h"
+#include "context/parser.h"
+#include "storage/profile_io.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+#include "workload/profile_generator.h"
+#include "workload/synthetic_hierarchy.h"
+
+namespace ctxpref {
+namespace {
+
+/// "p<i>", built with += because GCC 12's -Wrestrict misfires on
+/// `literal + std::to_string(...)` at -O2 (breaks -Werror CI builds).
+std::string ParamName(size_t i) {
+  std::string name("p");
+  name += std::to_string(i);
+  return name;
+}
+
+/// A random environment of 1–3 synthetic linear hierarchies. Synthetic
+/// value names ("p0.1.3") are unique across levels, so text round
+/// trips cannot be defeated by name aliasing.
+EnvironmentPtr RandomEnv(Rng& rng) {
+  const size_t num_params = 1 + rng.Uniform(3);
+  std::vector<ContextParameter> params;
+  for (size_t i = 0; i < num_params; ++i) {
+    const size_t detailed = 3 + rng.Uniform(10);       // 3..12
+    const size_t fan = 2 + rng.Uniform(3);             // 2..4
+    // Levels beyond what the detailed domain supports would collapse;
+    // 1–2 declared levels always fit detailed >= 3 with fan >= 2.
+    const size_t levels = 1 + rng.Uniform(2);
+    StatusOr<HierarchyPtr> h = workload::MakeSyntheticHierarchy(
+        ParamName(i), detailed, levels, fan);
+    EXPECT_TRUE(h.ok()) << h.status().ToString();
+    params.emplace_back(ParamName(i), *h);
+  }
+  StatusOr<EnvironmentPtr> env = ContextEnvironment::Create(std::move(params));
+  EXPECT_TRUE(env.ok()) << env.status().ToString();
+  return *env;
+}
+
+/// A uniformly random extended-domain value of parameter `p` (any
+/// level, including ALL).
+ValueRef RandomValue(Rng& rng, const ContextEnvironment& env, size_t p) {
+  const Hierarchy& h = env.parameter(p).hierarchy();
+  const LevelIndex level =
+      static_cast<LevelIndex>(rng.Uniform(h.num_levels()));
+  return ValueRef{level, static_cast<ValueId>(rng.Uniform(h.level_size(level)))};
+}
+
+/// A random parameter descriptor of any kind over parameter `p`.
+ParameterDescriptor RandomParameterDescriptor(Rng& rng,
+                                              const ContextEnvironment& env,
+                                              size_t p) {
+  const Hierarchy& h = env.parameter(p).hierarchy();
+  switch (rng.Uniform(3)) {
+    case 0: {
+      StatusOr<ParameterDescriptor> d =
+          ParameterDescriptor::Equals(env, p, RandomValue(rng, env, p));
+      EXPECT_TRUE(d.ok()) << d.status().ToString();
+      return *d;
+    }
+    case 1: {
+      std::vector<ValueRef> values;
+      const size_t n = 1 + rng.Uniform(3);
+      for (size_t i = 0; i < n; ++i) {
+        values.push_back(RandomValue(rng, env, p));
+      }
+      StatusOr<ParameterDescriptor> d =
+          ParameterDescriptor::Set(env, p, std::move(values));
+      EXPECT_TRUE(d.ok()) << d.status().ToString();
+      return *d;
+    }
+    default: {
+      // Range endpoints live on one level, lo <= hi in domain order.
+      const LevelIndex level =
+          static_cast<LevelIndex>(rng.Uniform(h.num_levels()));
+      const size_t size = h.level_size(level);
+      ValueId a = static_cast<ValueId>(rng.Uniform(size));
+      ValueId b = static_cast<ValueId>(rng.Uniform(size));
+      if (b < a) std::swap(a, b);
+      StatusOr<ParameterDescriptor> d = ParameterDescriptor::Range(
+          env, p, ValueRef{level, a}, ValueRef{level, b});
+      EXPECT_TRUE(d.ok()) << d.status().ToString();
+      return *d;
+    }
+  }
+}
+
+/// A random composite descriptor: each parameter included with
+/// p = 2/3 (an empty draw yields the empty descriptor, also a valid
+/// round-trip subject).
+CompositeDescriptor RandomComposite(Rng& rng, const ContextEnvironment& env) {
+  std::vector<ParameterDescriptor> parts;
+  for (size_t p = 0; p < env.size(); ++p) {
+    if (rng.Bernoulli(2.0 / 3.0)) {
+      parts.push_back(RandomParameterDescriptor(rng, env, p));
+    }
+  }
+  StatusOr<CompositeDescriptor> cod =
+      CompositeDescriptor::Create(env, std::move(parts));
+  EXPECT_TRUE(cod.ok()) << cod.status().ToString();
+  return *cod;
+}
+
+/// Structural equality for descriptors (they define no operator==):
+/// same parameter, same denoted context in the same stable order. Kind
+/// is deliberately NOT compared — the parser may legally read back
+/// "p in {a, b}" for a range denoting {a, b}; Def. 2 semantics live in
+/// Context(cod), which must survive exactly.
+bool SameDenotation(const ParameterDescriptor& a,
+                    const ParameterDescriptor& b) {
+  return a.param_index() == b.param_index() && a.ContextOf() == b.ContextOf();
+}
+
+bool SameDenotation(const CompositeDescriptor& a,
+                    const CompositeDescriptor& b) {
+  if (a.parts().size() != b.parts().size()) return false;
+  for (size_t i = 0; i < a.parts().size(); ++i) {
+    if (!SameDenotation(a.parts()[i], b.parts()[i])) return false;
+  }
+  return true;
+}
+
+class RoundTripPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoundTripPropertyTest, DescriptorTextRoundTrips) {
+  const uint64_t base_seed = GetParam();
+  constexpr int kCases = 1500;
+  for (int c = 0; c < kCases; ++c) {
+    const uint64_t seed = base_seed * 1'000'000 + c;
+    Rng rng(seed);
+    EnvironmentPtr env = RandomEnv(rng);
+
+    // Composite: Parse(ToString(cod)) denotes the same states.
+    CompositeDescriptor cod = RandomComposite(rng, *env);
+    const std::string text = cod.ToString(*env);
+    StatusOr<CompositeDescriptor> back = ParseCompositeDescriptor(*env, text);
+    ASSERT_OK(back.status()) << "seed " << seed << " text '" << text << "'";
+    EXPECT_TRUE(SameDenotation(cod, *back))
+        << "seed " << seed << "\n  wrote '" << text << "'\n  read  '"
+        << back->ToString(*env) << "'";
+    // The reparse is a fixed point: printing again yields byte-equal
+    // text (canonical form).
+    EXPECT_EQ(back->ToString(*env), text) << "seed " << seed;
+    // And the denoted state set survives.
+    EXPECT_EQ(back->EnumerateStates(*env), cod.EnumerateStates(*env))
+        << "seed " << seed;
+
+    // Extended: disjunction of 1–3 composites.
+    ExtendedDescriptor ecod;
+    const size_t disjuncts = 1 + rng.Uniform(3);
+    for (size_t d = 0; d < disjuncts; ++d) {
+      ecod.AddDisjunct(RandomComposite(rng, *env));
+    }
+    const std::string etext = ecod.ToString(*env);
+    StatusOr<ExtendedDescriptor> eback = ParseExtendedDescriptor(*env, etext);
+    ASSERT_OK(eback.status()) << "seed " << seed << " text '" << etext << "'";
+    ASSERT_EQ(eback->disjuncts().size(), ecod.disjuncts().size())
+        << "seed " << seed << " text '" << etext << "'";
+    for (size_t d = 0; d < disjuncts; ++d) {
+      EXPECT_TRUE(SameDenotation(ecod.disjuncts()[d], eback->disjuncts()[d]))
+          << "seed " << seed << " disjunct " << d << " text '" << etext
+          << "'";
+    }
+    EXPECT_EQ(eback->EnumerateStates(*env), ecod.EnumerateStates(*env))
+        << "seed " << seed;
+  }
+}
+
+TEST_P(RoundTripPropertyTest, ProfileTextAndBinaryRoundTrip) {
+  const uint64_t base_seed = GetParam();
+  constexpr int kCases = 120;  // Profiles are heavier than descriptors.
+  for (int c = 0; c < kCases; ++c) {
+    const uint64_t seed = base_seed * 1'000'000 + c;
+    Rng rng(seed);
+
+    workload::SyntheticProfileSpec spec;
+    const size_t num_params = 1 + rng.Uniform(3);
+    for (size_t p = 0; p < num_params; ++p) {
+      workload::SyntheticParam param;
+      param.name = ParamName(p);
+      param.detailed_size = 4 + rng.Uniform(9);  // 4..12
+      param.num_levels = 1 + rng.Uniform(2);
+      param.fan = 2 + rng.Uniform(3);
+      param.zipf_a = rng.Bernoulli(0.5) ? 0.0 : 1.5;
+      spec.params.push_back(param);
+    }
+    spec.num_preferences = 3 + rng.Uniform(38);  // 3..40
+    spec.lift_probability = rng.NextDouble() * 0.5;
+    spec.omit_probability = rng.NextDouble() * 0.2;
+    spec.clause_pool = 5 + rng.Uniform(30);
+    spec.seed = seed;
+
+    StatusOr<workload::SyntheticProfile> gen =
+        workload::GenerateSyntheticProfile(spec);
+    ASSERT_OK(gen.status()) << "seed " << seed;
+    const Profile& profile = gen->profile;
+
+    // Binary: Deserialize(Serialize(p)) == p, preference for
+    // preference.
+    const std::string bytes = storage::SerializeProfile(profile);
+    StatusOr<Profile> bin =
+        storage::DeserializeProfile(gen->env, bytes);
+    ASSERT_OK(bin.status()) << "seed " << seed;
+    ASSERT_EQ(bin->size(), profile.size()) << "seed " << seed;
+    for (size_t i = 0; i < profile.size(); ++i) {
+      EXPECT_TRUE(bin->preference(i) == profile.preference(i))
+          << "seed " << seed << " preference " << i;
+    }
+    // Serialization is deterministic: a second trip is byte-identical.
+    EXPECT_EQ(storage::SerializeProfile(*bin), bytes) << "seed " << seed;
+
+    // Text: FromText(ToText(p)) == p.
+    const std::string text = profile.ToText();
+    StatusOr<Profile> txt = Profile::FromText(gen->env, text);
+    ASSERT_OK(txt.status()) << "seed " << seed;
+    ASSERT_EQ(txt->size(), profile.size()) << "seed " << seed;
+    for (size_t i = 0; i < profile.size(); ++i) {
+      EXPECT_TRUE(txt->preference(i) == profile.preference(i))
+          << "seed " << seed << " preference " << i << "\n"
+          << profile.preference(i).ToString(*gen->env);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripPropertyTest,
+                         ::testing::Values(7001, 7002, 7003));
+
+}  // namespace
+}  // namespace ctxpref

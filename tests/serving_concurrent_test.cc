@@ -1,0 +1,204 @@
+// Concurrency regression test for the stale-cache bug: a writer
+// publishes new profile versions while readers rank through the
+// serving layer's shared `ContextQueryTree`. Every answer must be
+// consistent with exactly ONE published profile version — never a mix
+// of per-state cache entries from different versions, and never a
+// retired version's scores under a fresh snapshot. Runs in the CI
+// TSan job (suite name matches scripts/check.sh's tsan filter).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "context/parser.h"
+#include "storage/profile_store.h"
+#include "storage/serving.h"
+#include "tests/test_util.h"
+#include "workload/poi_dataset.h"
+
+namespace ctxpref {
+namespace {
+
+using ::ctxpref::testing::Pref;
+
+/// Score published for version step `k`: a distinct point on the 0.05
+/// grid per step (mod its period), applied to BOTH preferences — so
+/// within one version every scored tuple carries the same score, and a
+/// mixed-version answer is detectable as two differing scores.
+double ScoreForStep(uint64_t k) {
+  return 0.05 + static_cast<double>(k % 19) * 0.05;
+}
+
+/// "u<n>", built with += because GCC 12's -Wrestrict misfires on
+/// `literal + std::to_string(...)` at -O2 (breaks -Werror CI builds).
+std::string UserName(int u) {
+  std::string id("u");
+  id += std::to_string(u);
+  return id;
+}
+
+class ServingConcurrentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StatusOr<workload::PoiDatabase> poi = workload::MakePoiDatabase(60, 23);
+    ASSERT_OK(poi.status());
+    poi_ = std::make_unique<workload::PoiDatabase>(std::move(*poi));
+    env_ = poi_->env;
+    // Two query states, each resolved (and cached) independently; each
+    // matches a different preference, so a torn answer would pair a
+    // museum score from one version with a park score from another.
+    StatusOr<ExtendedDescriptor> ecod = ParseExtendedDescriptor(
+        *env_, "location = Plaka or location = Kifisia");
+    ASSERT_OK(ecod.status());
+    query_.context = *ecod;
+  }
+
+  Profile VersionedProfile(uint64_t step) {
+    const double s = ScoreForStep(step);
+    Profile p(env_);
+    EXPECT_OK(
+        p.Insert(Pref(*env_, "location = Plaka", "type", "museum", s)));
+    EXPECT_OK(
+        p.Insert(Pref(*env_, "location = Kifisia", "type", "park", s)));
+    return p;
+  }
+
+  std::unique_ptr<workload::PoiDatabase> poi_;
+  EnvironmentPtr env_;
+  ContextualQuery query_;
+};
+
+TEST_F(ServingConcurrentTest, AnswersConsistentWithOnePublishedVersion) {
+  storage::ProfileStore store(env_);
+  ContextQueryTree cache(env_, Ordering::Identity(env_->size()),
+                         /*capacity=*/256, /*num_shards=*/4);
+  store.AttachQueryCache(&cache);
+  ASSERT_OK(store.CreateUser("u", VersionedProfile(0)));
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> torn{0};
+  std::atomic<uint64_t> answered{0};
+  std::atomic<uint64_t> swaps{0};
+
+  std::thread writer([&] {
+    for (uint64_t step = 1; !stop.load(std::memory_order_relaxed); ++step) {
+      Status published =
+          store.PublishProfile("u", VersionedProfile(step));
+      EXPECT_OK(published);
+      swaps.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        StatusOr<storage::ServedQuery> served =
+            storage::ServeQuery(store, "u", poi_->relation, query_, &cache);
+        ASSERT_OK(served.status());
+        // The snapshot the answer claims to come from fixes the one
+        // legal score; every tuple must carry exactly it.
+        const double expect =
+            served->snapshot->profile().preference(0).score();
+        EXPECT_DOUBLE_EQ(
+            served->snapshot->profile().preference(1).score(), expect);
+        for (const db::ScoredTuple& t : served->result.tuples) {
+          if (std::abs(t.score - expect) > 1e-12) {
+            torn.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        answered.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(1200));
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(torn.load(), 0u) << "version-inconsistent answers observed";
+  EXPECT_GT(answered.load(), 0u);
+  EXPECT_GT(swaps.load(), 0u);
+  // The serving path actually exercised the cache.
+  EXPECT_GT(cache.Stats().lookups, 0u);
+}
+
+TEST_F(ServingConcurrentTest, PinnedSnapshotsSurviveChurnAndRemoval) {
+  storage::ProfileStore store(env_);
+  ASSERT_OK(store.CreateUser("u", VersionedProfile(0)));
+  StatusOr<storage::SnapshotPtr> pinned = store.GetSnapshot("u");
+  ASSERT_OK(pinned.status());
+  const double pinned_score = (*pinned)->profile().preference(0).score();
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (uint64_t step = 1; !stop.load(std::memory_order_relaxed); ++step) {
+      EXPECT_OK(store.PublishProfile("u", VersionedProfile(step)));
+    }
+  });
+
+  // The reader keeps ranking against its pinned version: same score
+  // every time, no matter how fast the writer churns.
+  for (int i = 0; i < 50; ++i) {
+    StatusOr<QueryResult> result =
+        storage::ServeQuery(**pinned, poi_->relation, query_);
+    ASSERT_OK(result.status());
+    for (const db::ScoredTuple& t : result->tuples) {
+      EXPECT_DOUBLE_EQ(t.score, pinned_score);
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+
+  // Removal doesn't tear the pin either.
+  ASSERT_OK(store.RemoveUser("u"));
+  EXPECT_DOUBLE_EQ((*pinned)->profile().preference(0).score(), pinned_score);
+}
+
+TEST_F(ServingConcurrentTest, ConcurrentWritersToDistinctUsersProceed) {
+  storage::ProfileStore store(env_);
+  ContextQueryTree cache(env_, Ordering::Identity(env_->size()));
+  store.AttachQueryCache(&cache);
+  constexpr int kUsers = 4;
+  for (int u = 0; u < kUsers; ++u) {
+    ASSERT_OK(store.CreateUser(UserName(u), VersionedProfile(0)));
+  }
+
+  std::vector<std::thread> writers;
+  for (int u = 0; u < kUsers; ++u) {
+    writers.emplace_back([&, u] {
+      const std::string id = UserName(u);
+      for (uint64_t step = 1; step <= 25; ++step) {
+        EXPECT_OK(store.UpdateUser(id, [&](Profile& p) {
+          const double s = ScoreForStep(step);
+          // UpdateScore reinserts the rescored preference at the back,
+          // so updating index 0 twice touches both preferences.
+          CTXPREF_RETURN_IF_ERROR(p.UpdateScore(0, s));
+          return p.UpdateScore(0, s);
+        }));
+        StatusOr<storage::ServedQuery> served = storage::ServeQuery(
+            store, id, poi_->relation, query_, &cache);
+        EXPECT_OK(served.status());
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+
+  // Every user converged to the last published score.
+  for (int u = 0; u < kUsers; ++u) {
+    StatusOr<storage::SnapshotPtr> snap =
+        store.GetSnapshot(UserName(u));
+    ASSERT_OK(snap.status());
+    EXPECT_DOUBLE_EQ((*snap)->profile().preference(0).score(),
+                     ScoreForStep(25));
+  }
+}
+
+}  // namespace
+}  // namespace ctxpref

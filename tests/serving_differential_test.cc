@@ -1,0 +1,297 @@
+// Differential oracle tests (ISSUE 5): on random small worlds,
+//  (1) Rank_CS (through the profile tree) must equal a brute-force
+//      ranker computed from first principles — covering states by
+//      Def. 10, minimum-distance matching by Def. 12 with the
+//      NearlyEqual tie rule, clause selection over the relation,
+//      max-combine — for EVERY extended state of the world, both
+//      distance kinds;
+//  (2) cached answers served through the copy-on-write store must
+//      equal uncached answers across interleaved profile swaps.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "context/descriptor.h"
+#include "db/relation.h"
+#include "db/schema.h"
+#include "preference/profile_tree.h"
+#include "preference/query_cache.h"
+#include "preference/resolution.h"
+#include "storage/profile_store.h"
+#include "storage/serving.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace ctxpref {
+namespace {
+
+/// A tiny two-parameter environment (the exhaustive-test world):
+///   place: a,b,c | X(a,b), Y(c) | ALL      (6 extended values)
+///   mood:  happy,sad | ALL                  (3 extended values)
+EnvironmentPtr TinyEnv() {
+  HierarchyBuilder pb("place");
+  pb.AddDetailedLevel("Spot", {"a", "b", "c"});
+  pb.AddLevel("Zone", {{"X", {"a", "b"}}, {"Y", {"c"}}});
+  StatusOr<HierarchyPtr> place = pb.Build();
+  EXPECT_TRUE(place.ok());
+  StatusOr<HierarchyPtr> mood =
+      MakeFlatHierarchy("mood", "Mood", {"happy", "sad"});
+  EXPECT_TRUE(mood.ok());
+  std::vector<ContextParameter> params;
+  params.emplace_back("place", *place);
+  params.emplace_back("mood", *mood);
+  StatusOr<EnvironmentPtr> env = ContextEnvironment::Create(std::move(params));
+  EXPECT_TRUE(env.ok());
+  return *env;
+}
+
+/// Every extended state of the two-parameter environment.
+std::vector<ContextState> AllExtendedStates(const ContextEnvironment& env) {
+  std::vector<std::vector<ValueRef>> domains;
+  for (size_t i = 0; i < env.size(); ++i) {
+    std::vector<ValueRef> values;
+    const Hierarchy& h = env.parameter(i).hierarchy();
+    for (LevelIndex l = 0; l < h.num_levels(); ++l) {
+      for (ValueId id = 0; id < h.level_size(l); ++id) {
+        values.push_back(ValueRef{l, id});
+      }
+    }
+    domains.push_back(std::move(values));
+  }
+  std::vector<ContextState> out;
+  for (ValueRef p : domains[0]) {
+    for (ValueRef m : domains[1]) {
+      out.push_back(ContextState({p, m}));
+    }
+  }
+  return out;
+}
+
+constexpr size_t kAttrPool = 10;
+
+/// "v<k>", built with += because GCC 12's -Wrestrict misfires on
+/// `literal + std::to_string(...)` at -O2 (breaks -Werror CI builds).
+std::string ValueName(size_t k) {
+  std::string v("v");
+  v += std::to_string(k);
+  return v;
+}
+
+/// A ten-row relation with one string attribute v0..v9, so every
+/// clause `attr = v<k>` selects exactly row k.
+db::Relation MakeRelation() {
+  StatusOr<db::Schema> schema =
+      db::Schema::Create({{"attr", db::ColumnType::kString}});
+  EXPECT_TRUE(schema.ok());
+  db::Relation relation(std::move(*schema));
+  for (size_t k = 0; k < kAttrPool; ++k) {
+    EXPECT_OK(relation.Append({db::Value(ValueName(k))}));
+  }
+  return relation;
+}
+
+/// A random conflict-free profile: a subset of world states carries a
+/// preference `attr = v<k> : <grid score>`.
+Profile RandomProfile(Rng& rng, EnvironmentPtr env,
+                      const std::vector<ContextState>& world) {
+  Profile profile(env);
+  for (const ContextState& s : world) {
+    if (!rng.Bernoulli(0.4)) continue;
+    StatusOr<CompositeDescriptor> cod = CompositeDescriptor::ForState(*env, s);
+    EXPECT_TRUE(cod.ok());
+    StatusOr<ContextualPreference> pref = ContextualPreference::Create(
+        std::move(*cod),
+        AttributeClause{
+            "attr", db::CompareOp::kEq,
+            db::Value(ValueName(rng.Uniform(kAttrPool)))},
+        static_cast<double>(rng.Uniform(21)) * 0.05);
+    EXPECT_TRUE(pref.ok());
+    EXPECT_OK(profile.Insert(std::move(*pref)));
+  }
+  return profile;
+}
+
+/// Brute-force Rank_CS from the formal definitions, no tree, no cache:
+/// per query state, the minimum-distance covering states (NearlyEqual
+/// ties kept, exactly the resolution rule) contribute their entries'
+/// selected rows at their scores; duplicates combine under max.
+std::map<db::RowId, double> BruteForceRank(
+    const Profile& profile, const db::Relation& relation,
+    const std::vector<ContextState>& query_states, DistanceKind kind) {
+  std::map<db::RowId, double> scores;
+  const std::vector<Profile::FlatEntry> flat = profile.Flatten();
+  for (const ContextState& q : query_states) {
+    const std::vector<ContextState> covering = CoveringStates(profile, q);
+    if (covering.empty()) continue;
+    double min_distance = std::numeric_limits<double>::infinity();
+    for (const ContextState& s : covering) {
+      min_distance =
+          std::min(min_distance, StateDistance(kind, profile.env(), s, q));
+    }
+    std::vector<ContextState> tied;
+    for (const ContextState& s : covering) {
+      const double d = StateDistance(kind, profile.env(), s, q);
+      if (NearlyEqual(d, min_distance)) tied.push_back(s);
+    }
+    // Jaccard ties are broken by hierarchy distance, mirroring
+    // TieBreakByHierarchyDistance in the resolver.
+    if (kind == DistanceKind::kJaccard && tied.size() > 1) {
+      double best_h = std::numeric_limits<double>::infinity();
+      for (const ContextState& s : tied) {
+        best_h = std::min(
+            best_h, StateDistance(DistanceKind::kHierarchy, profile.env(), s, q));
+      }
+      std::vector<ContextState> kept;
+      for (const ContextState& s : tied) {
+        if (NearlyEqual(StateDistance(DistanceKind::kHierarchy, profile.env(),
+                                      s, q),
+                        best_h)) {
+          kept.push_back(s);
+        }
+      }
+      tied = std::move(kept);
+    }
+    for (const ContextState& s : tied) {
+      for (const Profile::FlatEntry& e : flat) {
+        if (!(e.state == s)) continue;
+        StatusOr<db::Predicate> pred = db::Predicate::Create(
+            relation.schema(), e.clause->attribute, e.clause->op,
+            e.clause->value);
+        EXPECT_TRUE(pred.ok());
+        for (db::RowId row : relation.Select(*pred)) {
+          auto [it, inserted] = scores.try_emplace(row, e.score);
+          if (!inserted) it->second = std::max(it->second, e.score);
+        }
+      }
+    }
+  }
+  return scores;
+}
+
+std::map<db::RowId, double> AsMap(const QueryResult& result) {
+  std::map<db::RowId, double> scores;
+  for (const db::ScoredTuple& t : result.tuples) {
+    scores.emplace(t.row_id, t.score);
+  }
+  return scores;
+}
+
+class ServingDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ServingDifferentialTest, RankCsMatchesBruteForceOverAllStates) {
+  EnvironmentPtr env = TinyEnv();
+  const std::vector<ContextState> world = AllExtendedStates(*env);
+  const db::Relation relation = MakeRelation();
+  Rng rng(GetParam());
+  Profile profile = RandomProfile(rng, env, world);
+  if (profile.empty()) GTEST_SKIP() << "empty draw";
+
+  StatusOr<ProfileTree> tree = ProfileTree::Build(profile);
+  ASSERT_OK(tree.status());
+  TreeResolver resolver(&*tree);
+
+  for (DistanceKind kind :
+       {DistanceKind::kHierarchy, DistanceKind::kJaccard}) {
+    QueryOptions options;
+    options.resolution.distance = kind;
+    // (a) Every single extended state as the query context.
+    for (const ContextState& q : world) {
+      StatusOr<CompositeDescriptor> cod =
+          CompositeDescriptor::ForState(*env, q);
+      ASSERT_OK(cod.status());
+      ContextualQuery query;
+      query.context = ExtendedDescriptor::FromComposite(std::move(*cod));
+      StatusOr<QueryResult> got = RankCS(relation, query, resolver, options);
+      ASSERT_OK(got.status());
+      EXPECT_EQ(AsMap(*got), BruteForceRank(profile, relation, {q}, kind))
+          << "state " << q.ToString(*env) << " kind "
+          << DistanceKindToString(kind);
+    }
+    // (b) Random multi-state extended descriptors (disjunctions).
+    for (int trial = 0; trial < 10; ++trial) {
+      std::vector<ContextState> states;
+      ExtendedDescriptor ecod;
+      const size_t disjuncts = 1 + rng.Uniform(3);
+      for (size_t d = 0; d < disjuncts; ++d) {
+        const ContextState& s = world[rng.Uniform(world.size())];
+        StatusOr<CompositeDescriptor> cod =
+            CompositeDescriptor::ForState(*env, s);
+        ASSERT_OK(cod.status());
+        ecod.AddDisjunct(std::move(*cod));
+      }
+      ContextualQuery query;
+      query.context = ecod;
+      // The oracle iterates the deduplicated enumeration, like Rank_CS.
+      const std::vector<ContextState> enumerated =
+          ecod.EnumerateStates(*env);
+      StatusOr<QueryResult> got = RankCS(relation, query, resolver, options);
+      ASSERT_OK(got.status());
+      EXPECT_EQ(AsMap(*got),
+                BruteForceRank(profile, relation, enumerated, kind))
+          << "trial " << trial << " kind " << DistanceKindToString(kind);
+    }
+  }
+}
+
+TEST_P(ServingDifferentialTest, CachedEqualsUncachedAcrossProfileSwaps) {
+  EnvironmentPtr env = TinyEnv();
+  const std::vector<ContextState> world = AllExtendedStates(*env);
+  const db::Relation relation = MakeRelation();
+  Rng rng(GetParam());
+
+  storage::ProfileStore store(env);
+  ContextQueryTree cache(env, Ordering::Identity(env->size()),
+                         /*capacity=*/64);
+  store.AttachQueryCache(&cache);
+  ASSERT_OK(store.CreateUser("u", RandomProfile(rng, env, world)));
+
+  for (int swap = 0; swap < 12; ++swap) {
+    // Interleave: queries against the current version…
+    for (int trial = 0; trial < 8; ++trial) {
+      const ContextState& s = world[rng.Uniform(world.size())];
+      StatusOr<CompositeDescriptor> cod =
+          CompositeDescriptor::ForState(*env, s);
+      ASSERT_OK(cod.status());
+      ContextualQuery query;
+      query.context = ExtendedDescriptor::FromComposite(std::move(*cod));
+
+      // Uncached ground truth from the same pinned snapshot.
+      StatusOr<storage::SnapshotPtr> snapshot = store.GetSnapshot("u");
+      ASSERT_OK(snapshot.status());
+      StatusOr<QueryResult> uncached =
+          storage::ServeQuery(**snapshot, relation, query, /*cache=*/nullptr);
+      ASSERT_OK(uncached.status());
+
+      // Twice through the cache: a cold miss, then a hit.
+      for (int pass = 0; pass < 2; ++pass) {
+        StatusOr<QueryResult> cached =
+            storage::ServeQuery(**snapshot, relation, query, &cache);
+        ASSERT_OK(cached.status());
+        EXPECT_EQ(cached->tuples, uncached->tuples)
+            << "swap " << swap << " trial " << trial << " pass " << pass;
+        ASSERT_EQ(cached->traces.size(), uncached->traces.size());
+        for (size_t i = 0; i < cached->traces.size(); ++i) {
+          EXPECT_EQ(cached->traces[i].candidates.size(),
+                    uncached->traces[i].candidates.size());
+        }
+      }
+      // And against the brute-force oracle, closing the loop.
+      EXPECT_EQ(AsMap(*uncached),
+                BruteForceRank((*snapshot)->profile(), relation, {s},
+                               DistanceKind::kHierarchy));
+    }
+    // …then a swap to a fresh random profile.
+    ASSERT_OK(store.PublishProfile("u", RandomProfile(rng, env, world)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ServingDifferentialTest,
+                         ::testing::Values(8101, 8102, 8103, 8104));
+
+}  // namespace
+}  // namespace ctxpref

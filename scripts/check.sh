@@ -9,6 +9,15 @@
 #   scripts/check.sh --only-tsan  # TSan pass only (CI job)
 #   scripts/check.sh --coverage   # instrumented tier-1 run + line-
 #                                 # coverage floor on src/ (CI job)
+#   scripts/check.sh --only-tidy  # clang-tidy (baselined) + lint.py
+#                                 # only, no build/tests (CI job)
+#   scripts/check.sh --thread-safety
+#                                 # Clang build with -Wthread-safety
+#                                 # -Werror=thread-safety (CI job)
+#
+# The static-analysis modes auto-detect clang/clang-tidy and print a
+# clear SKIP instead of failing on GCC-only machines; lint.py always
+# runs (it only needs python3).
 #
 # Extra CMake configure arguments (e.g. a ccache launcher or
 # -DCTXPREF_WERROR=ON in CI) are taken from $CTXPREF_CMAKE_ARGS.
@@ -25,6 +34,8 @@ RUN_PLAIN=1
 RUN_TSAN=0
 RUN_ASAN=1
 RUN_COV=0
+RUN_TIDY=0
+RUN_TSA=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) RUN_TSAN=1 ;;
@@ -32,9 +43,22 @@ for arg in "$@"; do
     --only-asan) RUN_PLAIN=0; RUN_ASAN=1; RUN_TSAN=0 ;;
     --only-tsan) RUN_PLAIN=0; RUN_ASAN=0; RUN_TSAN=1 ;;
     --coverage) RUN_PLAIN=0; RUN_ASAN=0; RUN_TSAN=0; RUN_COV=1 ;;
+    --only-tidy) RUN_PLAIN=0; RUN_ASAN=0; RUN_TSAN=0; RUN_TIDY=1 ;;
+    --thread-safety) RUN_PLAIN=0; RUN_ASAN=0; RUN_TSAN=0; RUN_TSA=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
+
+find_clangxx() {
+  for candidate in clang++ clang++-21 clang++-20 clang++-19 clang++-18 \
+                   clang++-17 clang++-16 clang++-15 clang++-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      echo "$candidate"
+      return 0
+    fi
+  done
+  return 1
+}
 
 configure_and_test() {
   local dir="$1" sanitize="$2" label="$3"; shift 3
@@ -79,6 +103,45 @@ if [[ "${RUN_TSAN}" == 1 ]]; then
   # pass.
   configure_and_test build-tsan "thread" "concurrency tests under TSan" \
     -R "ResilientSource|QueryCacheConcurrent|ThreadPool|Observability|Serving"
+fi
+
+if [[ "${RUN_TSA}" == 1 ]]; then
+  # Clang thread-safety analysis: the whole tree must build clean with
+  # -Wthread-safety -Werror=thread-safety (CTXPREF_THREAD_SAFETY=ON).
+  echo "==== clang -Wthread-safety build ===="
+  if CLANGXX="$(find_clangxx)"; then
+    CLANGC="${CLANGXX/clang++/clang}"
+    command -v "${CLANGC}" >/dev/null 2>&1 || CLANGC="${CLANGXX}"
+    # shellcheck disable=SC2086
+    cmake -B build-tsa -S . -DCTXPREF_THREAD_SAFETY=ON \
+      -DCMAKE_C_COMPILER="${CLANGC}" -DCMAKE_CXX_COMPILER="${CLANGXX}" \
+      ${CTXPREF_CMAKE_ARGS:-} > /dev/null
+    tsa_build_status=0
+    cmake --build build-tsa -j "${JOBS}" -- --no-print-directory \
+      > build-tsa/check-build.log 2>&1 || tsa_build_status=$?
+    grep -E "error|warning" build-tsa/check-build.log || true
+    if [[ "${tsa_build_status}" -ne 0 ]]; then
+      echo "BUILD FAILED (thread-safety); full log:" \
+           "build-tsa/check-build.log" >&2
+      exit "${tsa_build_status}"
+    fi
+    echo "thread-safety analysis clean (${CLANGXX})"
+  else
+    echo "SKIP: no clang++ on PATH — thread-safety analysis needs Clang" \
+         "(GCC compiles the annotations as no-ops)"
+  fi
+fi
+
+if [[ "${RUN_TIDY}" == 1 ]]; then
+  # Static-analysis gate: clang-tidy against the baseline (skips
+  # without clang-tidy), then the repo-specific linter (always runs).
+  echo "==== clang-tidy + lint.py ===="
+  tidy_status=0
+  bash scripts/tidy.sh || tidy_status=$?
+  if [[ "${tidy_status}" -ne 0 && "${tidy_status}" -ne 77 ]]; then
+    exit "${tidy_status}"
+  fi
+  python3 scripts/lint.py
 fi
 
 if [[ "${RUN_COV}" == 1 ]]; then

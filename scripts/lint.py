@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""Repo-specific concurrency and header-hygiene lints.
+
+Checks (docs/static_analysis.md has the conventions these enforce):
+
+  raw-sync    std::mutex / std::shared_mutex / std::lock_guard /
+              std::unique_lock / std::shared_lock / std::scoped_lock /
+              std::condition_variable (and their headers) are forbidden
+              in src/ outside src/util/ — all locking goes through the
+              annotated util::Mutex wrappers so Clang's thread-safety
+              analysis and the lock-rank checker see every acquisition.
+
+  unguarded   In any class that owns a util::Mutex / util::SharedMutex,
+              data members declared *after* the mutex (the repo
+              convention groups a mutex's guarded fields directly below
+              it) must carry GUARDED_BY/PT_GUARDED_BY. Exempt: atomics,
+              const members, the synchronization members themselves.
+
+  guard-name  A header's include guard must be derived from its path:
+              src/storage/profile_store.h -> CTXPREF_STORAGE_PROFILE_STORE_H_.
+
+  annot-incl  A file that uses the annotation macros must include
+              util/mutex.h or util/annotations.h directly (not rely on
+              transitive includes).
+
+Suppress a single line with  // lint:allow(<check>)  and a short reason.
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+RAW_SYNC_TOKENS = re.compile(
+    r"std::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"lock_guard|unique_lock|shared_lock|scoped_lock|"
+    r"condition_variable(?:_any)?)\b")
+RAW_SYNC_INCLUDES = re.compile(
+    r'#\s*include\s*<(?:mutex|shared_mutex|condition_variable)>')
+
+ANNOTATION_MACROS = re.compile(
+    r"\b(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES|REQUIRES_SHARED|ACQUIRE|"
+    r"ACQUIRE_SHARED|RELEASE|RELEASE_SHARED|EXCLUDES|CAPABILITY|"
+    r"SCOPED_CAPABILITY|TRY_ACQUIRE|ASSERT_CAPABILITY|"
+    r"NO_THREAD_SAFETY_ANALYSIS)\b")
+ANNOTATION_INCLUDES = re.compile(
+    r'#\s*include\s*"util/(?:mutex|annotations)\.h"')
+
+MUTEX_MEMBER = re.compile(
+    r"^\s*(?:mutable\s+)?util::(?:Mutex|SharedMutex)\s+(\w+)\s*[{;(=]")
+# A plain non-static data-member declaration: optional qualifiers, a
+# type, one identifier, then an optional annotation/initializer and `;`.
+DATA_MEMBER = re.compile(
+    r"^\s*(?:mutable\s+)?(?P<type>[\w:]+(?:<[^;]*>)?(?:\s*[*&])?)\s+"
+    r"(?P<name>\w+)\s*(?P<rest>(?:GUARDED_BY|PT_GUARDED_BY)\([^)]*\))?"
+    r"\s*(?:=[^;]*|\{[^;]*\})?;")
+MEMBER_EXEMPT_TYPES = re.compile(
+    r"^(?:util::(?:Mutex|SharedMutex|CondVar)|std::atomic\b|"
+    r"std::condition_variable)")
+
+ALLOW = re.compile(r"//\s*lint:allow\((?P<check>[\w-]+)\)")
+
+
+def allowed(line, check):
+    m = ALLOW.search(line)
+    return m is not None and m.group("check") == check
+
+
+def strip_comments(line):
+    return line.split("//", 1)[0]
+
+
+class Findings:
+    def __init__(self):
+        self.items = []
+
+    def add(self, path, lineno, check, message):
+        self.items.append((path, lineno, check, message))
+
+
+def check_raw_sync(path, lines, findings):
+    if path.startswith("src/util/"):
+        return
+    for i, line in enumerate(lines, 1):
+        code = strip_comments(line)
+        if allowed(line, "raw-sync"):
+            continue
+        if RAW_SYNC_TOKENS.search(code) or RAW_SYNC_INCLUDES.search(code):
+            findings.add(path, i, "raw-sync",
+                         "raw std synchronization primitive; use the "
+                         "annotated util::Mutex wrappers (util/mutex.h)")
+
+
+def check_unguarded(path, lines, findings):
+    """Flags unannotated data members declared below a mutex member.
+
+    Tracks brace depth from each class/struct head; a mutex member arms
+    the check for the rest of that class body at the same depth.
+    """
+    depth = 0
+    # Stack of class-body depths; each entry is [depth, mutex_seen].
+    classes = []
+    class_head = re.compile(r"\b(?:class|struct)\s+\w+[^;]*$")
+    for i, line in enumerate(lines, 1):
+        code = strip_comments(line)
+        opens, closes = code.count("{"), code.count("}")
+        if class_head.search(code) and opens:
+            classes.append([depth + 1, False])
+        # Classify the line by the depth it *starts* at, so a member
+        # whose brace-initializer spans lines (e.g. a ranked mutex)
+        # still counts as a class-body declaration.
+        depth_at_start = depth
+        depth += opens - closes
+        while classes and depth < classes[-1][0]:
+            classes.pop()
+        if not classes or depth_at_start != classes[-1][0]:
+            continue  # Not directly inside a class body (or in a method).
+        if MUTEX_MEMBER.match(code):
+            classes[-1][1] = True
+            continue
+        if not classes[-1][1]:
+            continue  # No mutex declared above this point.
+        m = DATA_MEMBER.match(code)
+        if not m or m.group("rest"):
+            continue
+        if "static" in code or "constexpr" in code or "const " in code:
+            continue
+        if MEMBER_EXEMPT_TYPES.match(m.group("type")):
+            continue
+        if "(" in m.group("type"):  # Function pointers / declarations.
+            continue
+        if allowed(line, "unguarded"):
+            continue
+        findings.add(path, i, "unguarded",
+                     f"member '{m.group('name')}' is declared below a "
+                     "util::Mutex but carries no GUARDED_BY/PT_GUARDED_BY "
+                     "(move it above the mutex if it is genuinely "
+                     "unguarded, or annotate it)")
+
+
+def check_guard_name(path, lines, findings):
+    if not path.endswith(".h"):
+        return
+    expected = ("CTXPREF_"
+                + re.sub(r"[/.]", "_", path.removeprefix("src/")).upper()
+                + "_")
+    for i, line in enumerate(lines, 1):
+        m = re.match(r"#\s*ifndef\s+(\w+)", line)
+        if m:
+            if m.group(1) != expected and not allowed(line, "guard-name"):
+                findings.add(path, i, "guard-name",
+                             f"include guard '{m.group(1)}' should be "
+                             f"'{expected}'")
+            return
+    findings.add(path, 1, "guard-name", "missing include guard")
+
+
+def check_annotation_include(path, lines, findings):
+    if path.startswith("src/util/"):
+        return
+    uses = any(ANNOTATION_MACROS.search(strip_comments(l)) for l in lines)
+    if not uses:
+        return
+    if not any(ANNOTATION_INCLUDES.search(l) for l in lines):
+        findings.add(path, 1, "annot-incl",
+                     "uses thread-safety annotation macros without "
+                     'including "util/mutex.h" or "util/annotations.h"')
+
+
+def lint_file(path, findings):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        lines = f.read().splitlines()
+    check_raw_sync(path, lines, findings)
+    check_unguarded(path, lines, findings)
+    check_guard_name(path, lines, findings)
+    check_annotation_include(path, lines, findings)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="*", default=[],
+                        help="files or directories (default: src/)")
+    args = parser.parse_args()
+
+    roots = args.paths or ["src"]
+    files = []
+    for root in roots:
+        if os.path.isfile(root):
+            files.append(root)
+        elif os.path.isdir(root):
+            for dirpath, _, names in os.walk(root):
+                for name in sorted(names):
+                    if name.endswith((".h", ".cc")):
+                        files.append(os.path.join(dirpath, name))
+        else:
+            print(f"lint.py: no such path: {root}", file=sys.stderr)
+            return 2
+
+    findings = Findings()
+    for path in files:
+        lint_file(os.path.normpath(path), findings)
+
+    for path, lineno, check, message in findings.items:
+        print(f"{path}:{lineno}: [{check}] {message}")
+    if findings.items:
+        print(f"lint.py: {len(findings.items)} finding(s) in "
+              f"{len(files)} files", file=sys.stderr)
+        return 1
+    print(f"lint.py: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

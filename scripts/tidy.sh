@@ -1,0 +1,138 @@
+#!/usr/bin/env bash
+# clang-tidy over the whole compilation database, with a baseline file
+# for grandfathered findings.
+#
+#   scripts/tidy.sh                 # analyze src/ + tests/ TUs
+#   scripts/tidy.sh src/util        # restrict to files under a prefix
+#   scripts/tidy.sh --update-baseline
+#                                   # rewrite scripts/tidy-baseline.txt
+#                                   # from the current findings
+#
+# Exit status: 0 when every finding is either fixed or baselined;
+# 1 on new findings; 77 (the ctest/automake SKIP convention) when no
+# clang-tidy is installed, so CI and check.sh can tell "skipped" from
+# "passed".
+#
+# The baseline holds one canonicalized finding per line
+# (file:check-name:message, line numbers stripped so unrelated edits
+# above a finding do not churn it). New findings — anything not in the
+# baseline — fail the run and are printed with full locations.
+# Suppression policy: docs/static_analysis.md.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="scripts/tidy-baseline.txt"
+BUILD_DIR="${CTXPREF_TIDY_BUILD_DIR:-build}"
+UPDATE_BASELINE=0
+PATH_PREFIX=""
+for arg in "$@"; do
+  case "$arg" in
+    --update-baseline) UPDATE_BASELINE=1 ;;
+    -*) echo "unknown flag: $arg" >&2; exit 2 ;;
+    *) PATH_PREFIX="$arg" ;;
+  esac
+done
+
+TIDY=""
+for candidate in clang-tidy clang-tidy-21 clang-tidy-20 clang-tidy-19 \
+                 clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15 \
+                 clang-tidy-14; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    TIDY="$candidate"
+    break
+  fi
+done
+if [[ -z "$TIDY" ]]; then
+  echo "SKIP: clang-tidy not found on PATH (install clang-tidy to run" \
+       "the static-analysis gate; GCC-only machines skip it)" >&2
+  exit 77
+fi
+
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  echo "no ${BUILD_DIR}/compile_commands.json — configuring ${BUILD_DIR}" >&2
+  # shellcheck disable=SC2086
+  cmake -B "${BUILD_DIR}" -S . ${CTXPREF_CMAKE_ARGS:-} > /dev/null
+fi
+
+# Analyze first-party TUs only (gtest and system headers are not ours
+# to fix); optionally narrowed further by the path-prefix argument.
+mapfile -t FILES < <(python3 - "$BUILD_DIR" "$PATH_PREFIX" <<'EOF'
+import json, os, sys
+build_dir, prefix = sys.argv[1], sys.argv[2]
+root = os.getcwd()
+with open(os.path.join(build_dir, "compile_commands.json")) as f:
+    for entry in json.load(f):
+        path = os.path.relpath(os.path.abspath(entry["file"]), root)
+        if path.startswith(("src/", "tests/")) and path.endswith(".cc"):
+            if not prefix or path.startswith(prefix.rstrip("/") + "/") \
+               or path == prefix:
+                print(path)
+EOF
+)
+if [[ "${#FILES[@]}" -eq 0 ]]; then
+  echo "no translation units match '${PATH_PREFIX}'" >&2
+  exit 2
+fi
+
+RAW_LOG="$(mktemp)"
+trap 'rm -f "${RAW_LOG}"' EXIT
+echo "==== clang-tidy (${TIDY}) over ${#FILES[@]} TUs ===="
+STATUS=0
+# clang-tidy exits nonzero on findings; collect everything first and
+# decide pass/fail against the baseline below.
+"$TIDY" -p "${BUILD_DIR}" --quiet "${FILES[@]}" > "${RAW_LOG}" 2>/dev/null \
+  || STATUS=$?
+if [[ "${STATUS}" -ne 0 ]] && ! grep -q "warning:\|error:" "${RAW_LOG}"; then
+  echo "clang-tidy failed without findings; raw output:" >&2
+  cat "${RAW_LOG}" >&2
+  exit 1
+fi
+
+# Canonicalize findings to file:check:message (no line/column) so the
+# baseline survives unrelated edits; keep the raw lines for reporting.
+python3 - "$RAW_LOG" "$BASELINE" "$UPDATE_BASELINE" <<'EOF'
+import re, sys
+raw_log, baseline_path, update = sys.argv[1], sys.argv[2], sys.argv[3] == "1"
+
+finding_re = re.compile(
+    r"^(?P<file>[^:\s][^:]*):(?P<line>\d+):(?P<col>\d+): "
+    r"(?:warning|error): (?P<msg>.*?) \[(?P<check>[\w.,-]+)\]$")
+findings = []  # (canonical, raw line)
+for line in open(raw_log, errors="replace"):
+    m = finding_re.match(line.rstrip("\n"))
+    if m:
+        canonical = f"{m['file']}:{m['check']}:{m['msg']}"
+        findings.append((canonical, line.rstrip("\n")))
+
+if update:
+    with open(baseline_path, "w") as f:
+        f.write("# clang-tidy baseline: grandfathered findings, one per\n"
+                "# line as file:check:message (line numbers stripped).\n"
+                "# Regenerate with scripts/tidy.sh --update-baseline;\n"
+                "# shrink it whenever you fix one. Policy in\n"
+                "# docs/static_analysis.md.\n")
+        for canonical in sorted({c for c, _ in findings}):
+            f.write(canonical + "\n")
+    print(f"baseline rewritten: {len({c for c, _ in findings})} entries")
+    sys.exit(0)
+
+try:
+    baselined = {l.rstrip("\n") for l in open(baseline_path)
+                 if l.strip() and not l.startswith("#")}
+except FileNotFoundError:
+    baselined = set()
+
+new = [(c, raw) for c, raw in findings if c not in baselined]
+fixed = baselined - {c for c, _ in findings}
+if fixed:
+    print(f"note: {len(fixed)} baselined finding(s) no longer fire — "
+          "run scripts/tidy.sh --update-baseline to shrink the baseline")
+if new:
+    print(f"{len(new)} new clang-tidy finding(s):")
+    for _, raw in new:
+        print("  " + raw)
+    sys.exit(1)
+print(f"clang-tidy clean: {len(findings)} finding(s), all baselined"
+      if findings else "clang-tidy clean: no findings")
+EOF

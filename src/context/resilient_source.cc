@@ -64,12 +64,12 @@ ResilientSource::ResilientSource(const ContextEnvironment& env,
       rng_(seed) {}
 
 BreakerState ResilientSource::breaker_state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return breaker_;
 }
 
 void ResilientSource::SeedLastKnownGood(ValueRef value, int64_t at_micros) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   last_good_ = value;
   last_good_at_ = at_micros;
 }
@@ -176,7 +176,7 @@ StatusOr<ValueRef> ResilientSource::ReadWithInfo(SourceReadInfo* info) {
   TraceSpan span("source.read");
   ScopedLatency latency(&ReadLatency());
   SourceReadInfo local;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   int64_t now = clock_->NowMicros();
 
   if (breaker_ == BreakerState::kOpen) {
@@ -254,7 +254,7 @@ StatusOr<ValueRef> ResilientSource::ReadWithInfo(SourceReadInfo* info) {
 StatusOr<ValueRef> FaultInjectingSource::Read() {
   Step step;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     ++reads_;
     if (script_.empty()) {
       step.kind = Step::Kind::kOk;
@@ -281,12 +281,12 @@ StatusOr<ValueRef> FaultInjectingSource::Read() {
 }
 
 void FaultInjectingSource::PushOk() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   script_.push_back(Step{});
 }
 
 void FaultInjectingSource::PushValue(ValueRef v) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   Step s;
   s.kind = Step::Kind::kValue;
   s.value = v;
@@ -299,7 +299,7 @@ void FaultInjectingSource::PushNotFound() {
 }
 
 void FaultInjectingSource::PushError(Status error) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   Step s;
   s.kind = Step::Kind::kError;
   s.error = std::move(error);
@@ -307,7 +307,7 @@ void FaultInjectingSource::PushError(Status error) {
 }
 
 void FaultInjectingSource::PushLatency(int64_t micros) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   Step s;
   s.kind = Step::Kind::kLatency;
   s.latency_micros = micros;
@@ -315,7 +315,7 @@ void FaultInjectingSource::PushLatency(int64_t micros) {
 }
 
 void FaultInjectingSource::PushLatencyValue(int64_t micros, ValueRef v) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   Step s;
   s.kind = Step::Kind::kLatency;
   s.latency_micros = micros;
@@ -325,7 +325,7 @@ void FaultInjectingSource::PushLatencyValue(int64_t micros, ValueRef v) {
 }
 
 void FaultInjectingSource::PushOutOfDomain() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   Step s;
   s.kind = Step::Kind::kOutOfDomain;
   script_.push_back(s);
@@ -336,12 +336,12 @@ void FaultInjectingSource::FailNext(size_t n) {
 }
 
 void FaultInjectingSource::set_value(ValueRef v) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   value_ = v;
 }
 
 size_t FaultInjectingSource::reads() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return reads_;
 }
 

@@ -5,10 +5,10 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 
 #include "context/source.h"
+#include "util/mutex.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -137,34 +137,38 @@ class ResilientSource : public ContextSource {
   };
 
   /// One guarded backend attempt: runs inner_->Read() under the
-  /// deadline and domain checks. Caller holds mu_.
-  Attempted AttemptOnce();
+  /// deadline and domain checks. Called with mu_ held across the
+  /// backend read — which is why `kResilientSource` ranks above
+  /// (acquires before) the fault injector's script lock.
+  Attempted AttemptOnce() REQUIRES(mu_);
 
   /// Serves the degraded value (stale / lifted / absent) for a read
   /// that could not reach the backend or exhausted its attempts.
-  /// Caller holds mu_.
   StatusOr<ValueRef> ServeDegraded(int64_t now, bool breaker_open,
-                                   SourceReadInfo* info);
+                                   SourceReadInfo* info) REQUIRES(mu_);
 
-  /// Records a failed logical read against the breaker. Caller holds mu_.
-  void RecordFailure(int64_t now);
-  /// Records a successful logical read. Caller holds mu_.
-  void RecordSuccess();
+  /// Records a failed logical read against the breaker.
+  void RecordFailure(int64_t now) REQUIRES(mu_);
+  /// Records a successful logical read.
+  void RecordSuccess() REQUIRES(mu_);
 
   const ContextEnvironment* env_;
-  std::unique_ptr<ContextSource> inner_;
+  /// Pointee guarded: the backend is only read under mu_ (the pointer
+  /// itself is set once at construction).
+  std::unique_ptr<ContextSource> inner_ PT_GUARDED_BY(mu_);
   SourcePolicy policy_;
   Clock* clock_;
 
-  mutable std::mutex mu_;
-  Rng rng_;
-  BreakerState breaker_ = BreakerState::kClosed;
-  uint32_t consecutive_failures_ = 0;
-  uint32_t half_open_successes_ = 0;
-  int64_t breaker_opened_at_ = 0;
-  std::optional<ValueRef> last_good_;
-  int64_t last_good_at_ = 0;
-  Status last_error_;
+  mutable util::Mutex mu_{util::LockRank::kResilientSource,
+                          "ResilientSource.mu"};
+  Rng rng_ GUARDED_BY(mu_);
+  BreakerState breaker_ GUARDED_BY(mu_) = BreakerState::kClosed;
+  uint32_t consecutive_failures_ GUARDED_BY(mu_) = 0;
+  uint32_t half_open_successes_ GUARDED_BY(mu_) = 0;
+  int64_t breaker_opened_at_ GUARDED_BY(mu_) = 0;
+  std::optional<ValueRef> last_good_ GUARDED_BY(mu_);
+  int64_t last_good_at_ GUARDED_BY(mu_) = 0;
+  Status last_error_ GUARDED_BY(mu_);
 };
 
 /// A scripted source for chaos tests: each `Read` consumes the next
@@ -176,7 +180,7 @@ class FaultInjectingSource : public ContextSource {
  public:
   FaultInjectingSource(size_t param_index, ValueRef value,
                        FakeClock* clock = nullptr)
-      : param_index_(param_index), value_(value), clock_(clock) {}
+      : param_index_(param_index), clock_(clock), value_(value) {}
 
   size_t param_index() const override { return param_index_; }
   StatusOr<ValueRef> Read() override;
@@ -208,11 +212,12 @@ class FaultInjectingSource : public ContextSource {
   };
 
   size_t param_index_;
-  mutable std::mutex mu_;
-  ValueRef value_;
-  FakeClock* clock_;
-  std::deque<Step> script_;
-  size_t reads_ = 0;
+  FakeClock* clock_;  ///< Set at construction, never reseated.
+  mutable util::Mutex mu_{util::LockRank::kFaultInjector,
+                          "FaultInjectingSource.mu"};
+  ValueRef value_ GUARDED_BY(mu_);
+  std::deque<Step> script_ GUARDED_BY(mu_);
+  size_t reads_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace ctxpref

@@ -119,7 +119,7 @@ std::string ExplainTrace(const std::vector<TraceEvent>& events) {
   std::vector<size_t> roots;
   for (size_t i = 0; i < events.size(); ++i) {
     const TraceEvent& e = events[i];
-    if (e.parent_id != 0 && by_id.count(e.parent_id) > 0) {
+    if (e.parent_id != 0 && by_id.contains(e.parent_id)) {
       children[e.parent_id].push_back(i);
     } else {
       // Parent absent: recorder installed mid-query, parent evicted

@@ -74,7 +74,7 @@ bool ConflictsWith(const ContextEnvironment& env,
   std::unordered_set<ContextState, ContextStateHash> set_a(sa.begin(),
                                                            sa.end());
   for (const ContextState& s : b.States(env)) {
-    if (set_a.count(s) > 0) return true;
+    if (set_a.contains(s)) return true;
   }
   return false;
 }

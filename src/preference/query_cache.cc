@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
-#include <condition_variable>
 #include <exception>
-#include <mutex>
 
 #include "util/metrics.h"
+#include "util/mutex.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
 
@@ -176,7 +175,7 @@ std::shared_ptr<const ContextQueryTree::Entry> ContextQueryTree::Lookup(
   std::shared_ptr<const Entry> result;
   bool invalidated = false;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     ++shard.lookups;
     Node* node = Descend(shard, user, state, /*create=*/false, counter);
     if (node == nullptr || node->leaf == nullptr) {
@@ -234,7 +233,7 @@ void ContextQueryTree::Put(const std::string& user, const ContextState& state,
   auto entry = std::make_shared<const Entry>(
       Entry{std::move(tuples), std::move(candidates)});
   Shard& shard = ShardFor(user, state);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(shard.mu);
   Node* node = Descend(shard, user, state, /*create=*/true, nullptr);
   if (node->leaf != nullptr) {
     // Overwrite in place; readers holding the old snapshot keep it.
@@ -265,7 +264,7 @@ size_t ContextQueryTree::InvalidateUser(const std::string& user) {
   TraceSpan span("query_cache.invalidate_user");
   size_t dropped = 0;
   for (std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::MutexLock lock(shard->mu);
     auto root_it = shard->roots.find(user);
     if (root_it == shard->roots.end()) continue;
     // Dropping the user's whole trie frees every leaf at once; the LRU
@@ -296,7 +295,7 @@ size_t ContextQueryTree::InvalidateUser(const std::string& user) {
 
 void ContextQueryTree::InvalidateAll() {
   for (std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::MutexLock lock(shard->mu);
     shard->roots.clear();
     shard->lru.clear();
     shard->size = 0;
@@ -306,7 +305,7 @@ void ContextQueryTree::InvalidateAll() {
 CacheStats ContextQueryTree::Stats() const {
   CacheStats stats;
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::MutexLock lock(shard->mu);
     stats.lookups += shard->lookups;
     stats.hits += shard->hits;
     stats.misses += shard->misses;
@@ -320,7 +319,7 @@ CacheStats ContextQueryTree::Stats() const {
 CacheStats ContextQueryTree::ShardStats(size_t shard_index) const {
   assert(shard_index < shards_.size());
   const Shard& shard = *shards_[shard_index];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(shard.mu);
   CacheStats stats;
   stats.lookups = shard.lookups;
   stats.hits = shard.hits;
@@ -436,8 +435,8 @@ StatusOr<QueryResult> CachedRankCS(const db::Relation& relation,
     // references to it. `transient` is declared after the sync state
     // so its destructor joins the workers before that state goes away.
     size_t pending = states.size();
-    std::mutex done_mu;
-    std::condition_variable done_cv;
+    util::Mutex done_mu(util::LockRank::kCompletion, "CachedRankCS.done_mu");
+    util::CondVar done_cv;
     std::unique_ptr<ThreadPool> transient;
     ThreadPool* pool = options.pool;
     if (pool == nullptr) {
@@ -458,12 +457,12 @@ StatusOr<QueryResult> CachedRankCS(const db::Relation& relation,
         per_state[i] = std::move(r);
         // The decrement must happen in every path, or the waiter below
         // would block forever.
-        std::lock_guard<std::mutex> lock(done_mu);
-        if (--pending == 0) done_cv.notify_one();
+        util::MutexLock lock(done_mu);
+        if (--pending == 0) done_cv.NotifyOne();
       });
     }
-    std::unique_lock<std::mutex> lock(done_mu);
-    done_cv.wait(lock, [&] { return pending == 0; });
+    util::MutexLock lock(done_mu);
+    done_cv.Wait(done_mu, [&] { return pending == 0; });
   }
 
   QueryResult result;

@@ -3,7 +3,6 @@
 
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -13,6 +12,7 @@
 #include "preference/ordering.h"
 #include "util/counters.h"
 #include "util/histogram.h"
+#include "util/mutex.h"
 
 namespace ctxpref {
 
@@ -179,46 +179,53 @@ class ContextQueryTree {
     std::unique_ptr<Leaf> leaf;  // Set on leaf nodes only.
   };
 
-  /// One lock stripe: per-user tries + LRU + counters.
+  /// One lock stripe: per-user tries + LRU + counters. The stripe
+  /// mutex ranks `kCacheShard` — below the store locks (publish paths
+  /// invalidate entries while holding the per-user write lock), above
+  /// nothing this code takes (metric flushes under the lock are
+  /// lock-free atomics). Stripes are independent: no operation holds
+  /// two shard locks at once.
   struct Shard {
-    mutable std::mutex mu;
+    mutable util::Mutex mu{util::LockRank::kCacheShard,
+                           "ContextQueryTree.shard_mu"};
     /// One trie per user whose entries hashed into this shard; a
     /// user's trie is erased when its last entry goes (so an inactive
     /// user costs nothing).
-    std::unordered_map<std::string, std::unique_ptr<Node>> roots;
-    std::list<EntryKey> lru;  ///< Front = most recently used.
-    size_t size = 0;
-    uint64_t lookups = 0;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t evictions = 0;
-    uint64_t invalidations = 0;
+    std::unordered_map<std::string, std::unique_ptr<Node>> roots
+        GUARDED_BY(mu);
+    /// Front = most recently used.
+    std::list<EntryKey> lru GUARDED_BY(mu);
+    size_t size GUARDED_BY(mu) = 0;
+    uint64_t lookups GUARDED_BY(mu) = 0;
+    uint64_t hits GUARDED_BY(mu) = 0;
+    uint64_t misses GUARDED_BY(mu) = 0;
+    uint64_t evictions GUARDED_BY(mu) = 0;
+    uint64_t invalidations GUARDED_BY(mu) = 0;
     /// Deltas not yet flushed to the process-wide registry counters.
     /// Flushed together every kMetricsFlushStride lookups so the hot
     /// path pays plain increments under the already-held lock instead
     /// of global atomic RMWs; the registry may therefore lag the exact
     /// per-shard counters above by up to one stride per shard.
-    uint64_t pending_lookups = 0;
-    uint64_t pending_hits = 0;
-    uint64_t pending_misses = 0;
-    uint64_t pending_invalidations = 0;
-    /// Lookup latency (hit + miss), recorded outside the shard lock
-    /// and only while timing is enabled.
-    LatencyHistogram lookup_latency;
+    uint64_t pending_lookups GUARDED_BY(mu) = 0;
+    uint64_t pending_hits GUARDED_BY(mu) = 0;
+    uint64_t pending_misses GUARDED_BY(mu) = 0;
+    uint64_t pending_invalidations GUARDED_BY(mu) = 0;
+    /// Lookup latency (hit + miss): internally atomic, deliberately
+    /// not guarded — recorded outside the shard lock and only while
+    /// timing is enabled.
+    LatencyHistogram lookup_latency;  // lint:allow(unguarded) lock-free
   };
 
   Shard& ShardFor(const std::string& user, const ContextState& state);
 
-  /// Shard-local trie walk within `user`'s trie; caller holds the
-  /// shard mutex.
+  /// Shard-local trie walk within `user`'s trie.
   Node* Descend(Shard& shard, const std::string& user,
                 const ContextState& state, bool create,
-                AccessCounter* counter);
+                AccessCounter* counter) REQUIRES(shard.mu);
   /// Removes the path for `state` from `user`'s trie, pruning empty
-  /// nodes (and the trie itself once empty); caller holds the shard
-  /// mutex.
+  /// nodes (and the trie itself once empty).
   void RemovePath(Shard& shard, const std::string& user,
-                  const ContextState& state);
+                  const ContextState& state) REQUIRES(shard.mu);
 
   EnvironmentPtr env_;
   Ordering order_;

@@ -101,7 +101,7 @@ StatusOr<EnvironmentPtr> ParseEnvironmentSpec(std::string_view text) {
       }
       builder_name = std::string(Trim(line.substr(9)));
       if (builder_name.empty()) return fail("hierarchy needs a name");
-      if (hierarchies.count(builder_name) > 0) {
+      if (hierarchies.contains(builder_name)) {
         return Status::InvalidArgument("duplicate hierarchy '" +
                                        builder_name + "'");
       }

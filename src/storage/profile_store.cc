@@ -101,7 +101,7 @@ Status ProfileStore::ValidateUserId(const std::string& user_id) {
 }
 
 size_t ProfileStore::size() const {
-  std::shared_lock<std::shared_mutex> lock(users_mu_);
+  util::ReaderLock lock(users_mu_);
   return users_.size();
 }
 
@@ -145,14 +145,20 @@ Status ProfileStore::CreateUser(const std::string& user_id, Profile initial) {
         "profile for user '" + user_id +
         "' was built over a different context environment");
   }
-  std::unique_lock<std::shared_mutex> lock(users_mu_);
+  util::WriterLock lock(users_mu_);
   auto [it, inserted] = users_.try_emplace(user_id);
   if (!inserted) {
     return Status::AlreadyExists("user '" + user_id + "' already exists");
   }
   it->second = std::make_unique<User>();
-  Status published =
-      BuildAndPublish(*it->second, user_id, std::move(initial));
+  User& user = *it->second;
+  Status published;
+  {
+    // Uncontended (the exclusive map lock above hides the new user),
+    // taken so BuildAndPublish has one uniform writer-lock contract.
+    util::MutexLock write_lock(user.write_mu);
+    published = BuildAndPublish(user, user_id, std::move(initial));
+  }
   if (!published.ok()) {
     users_.erase(it);  // Creation is all-or-nothing.
     return published;
@@ -163,7 +169,7 @@ Status ProfileStore::CreateUser(const std::string& user_id, Profile initial) {
 
 StatusOr<SnapshotPtr> ProfileStore::GetSnapshot(
     const std::string& user_id) const {
-  std::shared_lock<std::shared_mutex> lock(users_mu_);
+  util::ReaderLock lock(users_mu_);
   auto it = users_.find(user_id);
   if (it == users_.end()) {
     return Status::NotFound("no user '" + user_id + "'");
@@ -189,13 +195,15 @@ StatusOr<const ProfileTree*> ProfileStore::GetTree(
 
 Status ProfileStore::UpdateUser(const std::string& user_id,
                                 const std::function<Status(Profile&)>& edit) {
-  std::shared_lock<std::shared_mutex> lock(users_mu_);
-  auto it = users_.find(user_id);
-  if (it == users_.end()) {
+  util::ReaderLock lock(users_mu_);
+  // as_const: the shared map lock licenses reads only, so go through
+  // the const find (the User itself is guarded by its own locks).
+  auto it = std::as_const(users_).find(user_id);
+  if (it == users_.cend()) {
     return Status::NotFound("no user '" + user_id + "'");
   }
   User& user = *it->second;
-  std::lock_guard<std::mutex> write_lock(user.write_mu);
+  util::MutexLock write_lock(user.write_mu);
   // Copy-on-write: mutate a private copy; readers keep the current
   // snapshot until the publish below.
   SnapshotPtr current = user.Pin();
@@ -211,13 +219,13 @@ Status ProfileStore::PublishProfile(const std::string& user_id,
         "profile for user '" + user_id +
         "' was built over a different context environment");
   }
-  std::shared_lock<std::shared_mutex> lock(users_mu_);
-  auto it = users_.find(user_id);
-  if (it == users_.end()) {
+  util::ReaderLock lock(users_mu_);
+  auto it = std::as_const(users_).find(user_id);
+  if (it == users_.cend()) {
     return Status::NotFound("no user '" + user_id + "'");
   }
   User& user = *it->second;
-  std::lock_guard<std::mutex> write_lock(user.write_mu);
+  util::MutexLock write_lock(user.write_mu);
   return BuildAndPublish(user, user_id, std::move(profile));
 }
 
@@ -233,7 +241,7 @@ Status ProfileStore::ReloadUser(const std::string& user_id,
 
 Status ProfileStore::RemoveUser(const std::string& user_id) {
   {
-    std::unique_lock<std::shared_mutex> lock(users_mu_);
+    util::WriterLock lock(users_mu_);
     if (users_.erase(user_id) == 0) {
       return Status::NotFound("no user '" + user_id + "'");
     }
@@ -249,7 +257,7 @@ Status ProfileStore::RemoveUser(const std::string& user_id) {
 }
 
 std::vector<std::string> ProfileStore::UserIds() const {
-  std::shared_lock<std::shared_mutex> lock(users_mu_);
+  util::ReaderLock lock(users_mu_);
   std::vector<std::string> out;
   out.reserve(users_.size());
   for (const auto& [id, user] : users_) out.push_back(id);

@@ -5,14 +5,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "preference/profile.h"
 #include "preference/profile_tree.h"
 #include "preference/query_cache.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace ctxpref::storage {
@@ -102,9 +101,10 @@ class ProfileStore {
 
   /// Moves are for construction-time hand-off (`LoadDir` returns a
   /// store by value); they are not thread-safe against concurrent use
-  /// of either store.
-  ProfileStore(ProfileStore&& other) noexcept;
-  ProfileStore& operator=(ProfileStore&& other) noexcept;
+  /// of either store — which is why they opt out of the analysis.
+  ProfileStore(ProfileStore&& other) noexcept NO_THREAD_SAFETY_ANALYSIS;
+  ProfileStore& operator=(ProfileStore&& other) noexcept
+      NO_THREAD_SAFETY_ANALYSIS;
 
   const ContextEnvironment& env() const { return *env_; }
   size_t size() const;
@@ -197,28 +197,32 @@ class ProfileStore {
 
  private:
   struct User {
-    /// Serializes writers to this user; never held while another
-    /// store-level lock is acquired.
-    std::mutex write_mu;
-    /// Guards only the `current` pointer slot. Held for a shared_ptr
-    /// copy (readers) or swap (publish) — nanoseconds — and kept
-    /// separate from `write_mu`, which writers hold across the whole
-    /// copy-edit-rebuild, so readers never wait on a profile build.
+    /// Serializes writers to this user (rank `kPerUserWrite`): held
+    /// across the whole copy-edit-rebuild, around the slot swap and
+    /// the cache invalidation below it in the hierarchy.
+    util::Mutex write_mu{util::LockRank::kPerUserWrite,
+                         "ProfileStore.User.write_mu"};
+    /// Guards only the `current` pointer slot (rank `kStoreSlot`).
+    /// Held for a shared_ptr copy (readers) or swap (publish) —
+    /// nanoseconds — and kept separate from `write_mu`, which writers
+    /// hold across the whole copy-edit-rebuild, so readers never wait
+    /// on a profile build.
     /// (Not `std::atomic<shared_ptr>`: libstdc++'s `_Sp_atomic::load`
     /// releases its internal lock bit with a relaxed RMW, which leaves
     /// the pointer read formally unordered against a later `exchange`
     /// — TSan flags it, correctly per the abstract machine.)
-    mutable std::mutex snap_mu;
+    mutable util::Mutex snap_mu{util::LockRank::kStoreSlot,
+                                "ProfileStore.User.snap_mu"};
     /// The published snapshot readers pin.
-    SnapshotPtr current;
+    SnapshotPtr current GUARDED_BY(snap_mu);
 
-    SnapshotPtr Pin() const {
-      std::lock_guard<std::mutex> lock(snap_mu);
+    SnapshotPtr Pin() const EXCLUDES(snap_mu) {
+      util::MutexLock lock(snap_mu);
       return current;
     }
     /// Installs `next` and returns the retired snapshot.
-    SnapshotPtr Swap(SnapshotPtr next) {
-      std::lock_guard<std::mutex> lock(snap_mu);
+    SnapshotPtr Swap(SnapshotPtr next) EXCLUDES(snap_mu) {
+      util::MutexLock lock(snap_mu);
       current.swap(next);
       return next;
     }
@@ -228,18 +232,21 @@ class ProfileStore {
 
   /// Builds `profile`'s tree, wraps everything into a snapshot with a
   /// fresh serving version, stores it into `user.current`, and
-  /// invalidates `user_id`'s cache entries. Caller holds
-  /// `user.write_mu` (publishing) or the unique `users_mu_` lock
-  /// (creation).
+  /// invalidates `user_id`'s cache entries. The writer lock is the
+  /// publish serialization point; creation takes it too (uncontended —
+  /// the exclusive map lock hides the new user) so the contract is
+  /// uniform and machine-checkable.
   Status BuildAndPublish(User& user, const std::string& user_id,
-                         Profile profile);
+                         Profile profile) REQUIRES(user.write_mu);
 
   EnvironmentPtr env_;
   /// Guards the user map's *shape* only (find/insert/erase), never the
   /// snapshots: readers and writers take it shared and briefly;
-  /// CreateUser/RemoveUser take it unique.
-  mutable std::shared_mutex users_mu_;
-  std::map<std::string, std::unique_ptr<User>> users_;
+  /// CreateUser/RemoveUser take it unique. First lock on every store
+  /// path (rank `kUserMap`).
+  mutable util::SharedMutex users_mu_{util::LockRank::kUserMap,
+                                      "ProfileStore.users_mu"};
+  std::map<std::string, std::unique_ptr<User>> users_ GUARDED_BY(users_mu_);
   /// Store-wide monotone serving version; see `ProfileSnapshot`.
   std::atomic<uint64_t> version_counter_{0};
   std::atomic<ContextQueryTree*> cache_{nullptr};

@@ -1,0 +1,106 @@
+#ifndef CTXPREF_UTIL_ANNOTATIONS_H_
+#define CTXPREF_UTIL_ANNOTATIONS_H_
+
+/// Clang thread-safety analysis attributes, wrapped so the tree
+/// compiles unchanged on GCC (every macro expands to nothing there).
+///
+/// The attributes turn locking contracts into compiler-checked facts:
+/// a `CAPABILITY` type is a lock, `GUARDED_BY(mu)` fields may only be
+/// touched with `mu` held, `REQUIRES(mu)` functions may only be called
+/// with `mu` held, and `ACQUIRE`/`RELEASE` describe functions that
+/// change what the caller holds. Build with
+/// `-DCTXPREF_THREAD_SAFETY=ON` under Clang to promote violations to
+/// errors (`-Wthread-safety -Werror=thread-safety`); see
+/// docs/static_analysis.md for the conventions used in this tree.
+///
+/// Spelling follows the canonical mutex.h example from the Clang
+/// documentation (and Abseil's thread_annotations.h), so the names
+/// match what the analysis docs and error messages talk about.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define CTXPREF_HAS_THREAD_ATTRIBUTE(x) __has_attribute(x)
+#else
+#define CTXPREF_HAS_THREAD_ATTRIBUTE(x) 0
+#endif
+
+#if CTXPREF_HAS_THREAD_ATTRIBUTE(capability)
+#define CTXPREF_THREAD_ATTRIBUTE(x) __attribute__((x))
+#else
+#define CTXPREF_THREAD_ATTRIBUTE(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a lock ("capability"). `x` names the capability
+/// kind in diagnostics, conventionally "mutex".
+#define CAPABILITY(x) CTXPREF_THREAD_ATTRIBUTE(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability (e.g. `util::MutexLock`).
+#define SCOPED_CAPABILITY CTXPREF_THREAD_ATTRIBUTE(scoped_lockable)
+
+/// Data member readable only with `x` held (shared suffices), writable
+/// only with `x` held exclusively.
+#define GUARDED_BY(x) CTXPREF_THREAD_ATTRIBUTE(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x` (the pointer
+/// itself is not).
+#define PT_GUARDED_BY(x) CTXPREF_THREAD_ATTRIBUTE(pt_guarded_by(x))
+
+/// Documents a required acquisition order between two locks declared
+/// in the same scope (the runtime lock-rank checker in util/mutex.h
+/// enforces ordering dynamically and across scopes).
+#define ACQUIRED_BEFORE(...) \
+  CTXPREF_THREAD_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  CTXPREF_THREAD_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// Function-level contracts: the caller must hold the listed
+/// capabilities (exclusively / shared) on entry, and still holds them
+/// on exit.
+#define REQUIRES(...) \
+  CTXPREF_THREAD_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  CTXPREF_THREAD_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability (must not be held on entry,
+/// held on exit). With no argument, refers to `this`.
+#define ACQUIRE(...) \
+  CTXPREF_THREAD_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  CTXPREF_THREAD_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the capability (held on entry, not on exit).
+#define RELEASE(...) \
+  CTXPREF_THREAD_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  CTXPREF_THREAD_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  CTXPREF_THREAD_ATTRIBUTE(release_generic_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `b`.
+#define TRY_ACQUIRE(...) \
+  CTXPREF_THREAD_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  CTXPREF_THREAD_ATTRIBUTE(try_acquire_shared_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the listed capabilities (anti-deadlock:
+/// the function acquires them itself).
+#define EXCLUDES(...) CTXPREF_THREAD_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (for code paths the
+/// static analysis cannot follow).
+#define ASSERT_CAPABILITY(x) CTXPREF_THREAD_ATTRIBUTE(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  CTXPREF_THREAD_ATTRIBUTE(assert_shared_capability(x))
+
+/// The function returns a reference to the named capability (lets
+/// accessors like `Mutex& mu()` participate in the analysis).
+#define RETURN_CAPABILITY(x) CTXPREF_THREAD_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: turn the analysis off for one function. Use only
+/// where the locking pattern is genuinely beyond the analysis
+/// (documented move operations, condition-variable internals) and say
+/// why at the use site.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  CTXPREF_THREAD_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // CTXPREF_UTIL_ANNOTATIONS_H_

@@ -55,7 +55,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 MetricsRegistry::Metric& MetricsRegistry::GetOrCreate(const std::string& name,
                                                       const std::string& help,
                                                       Kind kind) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = metrics_.find(name);
   if (it != metrics_.end()) {
     if (it->second.kind != kind) {
@@ -100,7 +100,7 @@ LatencyHistogram& MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 std::string MetricsRegistry::PrometheusText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::string out;
   char buf[128];
   for (const auto& [name, m] : metrics_) {
@@ -155,7 +155,7 @@ std::string MetricsRegistry::PrometheusText() const {
 }
 
 std::string MetricsRegistry::Json() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::string counters, gauges, histograms;
   char buf[160];
   for (const auto& [name, m] : metrics_) {
@@ -213,7 +213,7 @@ std::string MetricsRegistry::Json() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (auto& [name, m] : metrics_) {
     switch (m.kind) {
       case Kind::kCounter:
@@ -230,7 +230,7 @@ void MetricsRegistry::Reset() {
 }
 
 std::vector<std::string> MetricsRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(metrics_.size());
   for (const auto& [name, m] : metrics_) names.push_back(name);

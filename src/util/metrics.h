@@ -5,11 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/histogram.h"
+#include "util/mutex.h"
 
 namespace ctxpref {
 
@@ -121,13 +121,18 @@ class MetricsRegistry {
     std::unique_ptr<LatencyHistogram> histogram;
   };
 
+  /// Returns a stable reference: map nodes never move, and metrics
+  /// are never erased, so the result outlives the lock by design.
   Metric& GetOrCreate(const std::string& name, const std::string& help,
-                      Kind kind);
+                      Kind kind) EXCLUDES(mu_);
 
   inline static std::atomic<bool> timing_enabled_{false};
 
-  mutable std::mutex mu_;
-  std::map<std::string, Metric> metrics_;
+  /// Leaf-rank lock: held only around map lookup/insert and export
+  /// walks — metric updates themselves are lock-free atomics.
+  mutable util::Mutex mu_{util::LockRank::kMetricsRegistry,
+                          "MetricsRegistry.mu"};
+  std::map<std::string, Metric> metrics_ GUARDED_BY(mu_);
 };
 
 /// RAII latency sample: records the elapsed nanoseconds into `h` on

@@ -45,14 +45,14 @@ ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     stopping_ = true;
   }
   for (std::jthread& w : workers_) w.request_stop();
-  not_empty_.notify_all();
+  not_empty_.NotifyAll();
   // Wake any Submit blocked on a full queue so it fails fast instead
   // of hanging once the workers stop signaling free slots.
-  not_full_.notify_all();
+  not_full_.NotifyAll();
   // jthread joins on destruction; WorkerLoop drains the queue first.
 }
 
@@ -61,8 +61,8 @@ void ThreadPool::Submit(std::function<void()> task) {
   Item item{std::move(task),
             MetricsRegistry::TimingEnabled() ? MonotonicNanos() : 0};
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [this] {
+    util::MutexLock lock(mu_);
+    not_full_.Wait(mu_, [this]() REQUIRES(mu_) {
       return stopping_ || queue_.size() < queue_capacity_;
     });
     if (stopping_) {
@@ -72,12 +72,14 @@ void ThreadPool::Submit(std::function<void()> task) {
   }
   metrics.tasks.Increment();
   metrics.queue_depth.Add(1);
-  not_empty_.notify_one();
+  not_empty_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+  util::MutexLock lock(mu_);
+  idle_.Wait(mu_, [this]() REQUIRES(mu_) {
+    return queue_.empty() && running_ == 0;
+  });
 }
 
 void ThreadPool::WorkerLoop(std::stop_token stop) {
@@ -85,8 +87,9 @@ void ThreadPool::WorkerLoop(std::stop_token stop) {
   for (;;) {
     Item item;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      not_empty_.wait(lock, stop, [this] { return !queue_.empty(); });
+      util::MutexLock lock(mu_);
+      not_empty_.Wait(mu_, stop,
+                      [this]() REQUIRES(mu_) { return !queue_.empty(); });
       if (queue_.empty()) return;  // Stop requested and queue drained.
       item = std::move(queue_.front());
       queue_.pop_front();
@@ -96,7 +99,7 @@ void ThreadPool::WorkerLoop(std::stop_token stop) {
     if (item.enqueue_nanos != 0) {
       metrics.task_wait.Record(MonotonicNanos() - item.enqueue_nanos);
     }
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     try {
       item.fn();
     } catch (...) {
@@ -106,9 +109,9 @@ void ThreadPool::WorkerLoop(std::stop_token stop) {
       // Status; anything escaping anyway is dropped here.
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       --running_;
-      if (queue_.empty() && running_ == 0) idle_.notify_all();
+      if (queue_.empty() && running_ == 0) idle_.NotifyAll();
     }
   }
 }

@@ -1,14 +1,14 @@
 #ifndef CTXPREF_UTIL_THREAD_POOL_H_
 #define CTXPREF_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace ctxpref {
 
@@ -22,6 +22,10 @@ namespace ctxpref {
 /// Used by `CachedRankCS` to evaluate the states of an extended
 /// descriptor concurrently; results are merged by the caller in a
 /// deterministic order, so tasks must not depend on execution order.
+///
+/// Locking: one queue mutex (`LockRank::kPoolQueue`, the innermost
+/// rank — it is never held while a task body runs, so tasks may take
+/// any other lock in the tree).
 class ThreadPool {
  public:
   /// `num_threads` is clamped to at least 1; `queue_capacity` = 0 means
@@ -40,10 +44,10 @@ class ThreadPool {
   /// itself are caught and discarded by the worker, so tasks must
   /// report failure through their own channels (e.g. a captured
   /// Status).
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and no task is running.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
  private:
   /// A queued task plus its enqueue timestamp for the
@@ -54,17 +58,25 @@ class ThreadPool {
     uint64_t enqueue_nanos = 0;
   };
 
-  void WorkerLoop(std::stop_token stop);
+  void WorkerLoop(std::stop_token stop) EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable_any not_empty_;  ///< Queue gained a task.
-  std::condition_variable not_full_;       ///< Queue gained a slot.
-  std::condition_variable idle_;           ///< Queue drained, nothing running.
-  std::deque<Item> queue_;
-  size_t queue_capacity_;
-  size_t running_ = 0;     ///< Tasks currently executing.
-  bool stopping_ = false;  ///< Set by the destructor; Submit fails fast.
-  std::vector<std::jthread> workers_;
+  // Unguarded members first (repo convention: everything below a mutex
+  // is that mutex's guarded state — scripts/lint.py enforces it).
+  size_t queue_capacity_;  ///< Set once in the constructor.
+
+  util::Mutex mu_{util::LockRank::kPoolQueue, "ThreadPool.mu"};
+  util::CondVar not_empty_;  ///< Queue gained a task.
+  util::CondVar not_full_;   ///< Queue gained a slot.
+  util::CondVar idle_;       ///< Queue drained, nothing running.
+  std::deque<Item> queue_ GUARDED_BY(mu_);
+  size_t running_ GUARDED_BY(mu_) = 0;  ///< Tasks currently executing.
+  /// Set by the destructor; Submit fails fast.
+  bool stopping_ GUARDED_BY(mu_) = false;
+  /// Written only by the constructor; worker threads never touch the
+  /// vector itself. Declared LAST deliberately: the jthread destructors
+  /// must join the workers while mu_, the condition variables, and the
+  /// queue are all still alive.
+  std::vector<std::jthread> workers_;  // lint:allow(unguarded) dtor order
 };
 
 }  // namespace ctxpref

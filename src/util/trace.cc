@@ -42,13 +42,13 @@ TraceRecorder* TraceRecorder::active() {
 }
 
 void TraceRecorder::Record(TraceEvent ev) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   ring_[recorded_ % capacity_] = std::move(ev);
   ++recorded_;
 }
 
 std::vector<TraceEvent> TraceRecorder::Events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<TraceEvent> out;
   const uint64_t n = recorded_ < capacity_ ? recorded_ : capacity_;
   out.reserve(n);
@@ -60,17 +60,17 @@ std::vector<TraceEvent> TraceRecorder::Events() const {
 }
 
 uint64_t TraceRecorder::recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return recorded_;
 }
 
 uint64_t TraceRecorder::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return recorded_ <= capacity_ ? 0 : recorded_ - capacity_;
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (TraceEvent& ev : ring_) ev = TraceEvent{};
   recorded_ = 0;
 }

@@ -4,11 +4,12 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace ctxpref {
 
@@ -73,15 +74,19 @@ class TraceRecorder {
   uint64_t NextId() {
     return id_gen_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
-  void Record(TraceEvent ev);
+  void Record(TraceEvent ev) EXCLUDES(mu_);
 
   const size_t capacity_;
   const uint64_t epoch_nanos_;
   std::atomic<uint64_t> id_gen_{0};
 
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> ring_;  ///< Ring storage, capacity_ slots.
-  uint64_t recorded_ = 0;
+  /// Spans record into the ring after releasing any user-visible
+  /// locks, so this sits near the leaf of the hierarchy.
+  mutable util::Mutex mu_{util::LockRank::kTraceRecorder,
+                          "TraceRecorder.mu"};
+  /// Ring storage, capacity_ slots.
+  std::vector<TraceEvent> ring_ GUARDED_BY(mu_);
+  uint64_t recorded_ GUARDED_BY(mu_) = 0;
 };
 
 /// RAII span. Records on destruction into the recorder that was active

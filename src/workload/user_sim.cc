@@ -381,7 +381,7 @@ StatusOr<double> QueryPrecision(const GroundTruth& gt,
   for (size_t i = 0; i < user_end; ++i) user_top.insert(user_ranked[i].second);
   size_t hit = 0;
   for (size_t i = 0; i < sys_end; ++i) {
-    if (user_top.count(pool[i].row_id) > 0) ++hit;
+    if (user_top.contains(pool[i].row_id)) ++hit;
   }
   return 100.0 * static_cast<double>(hit) / static_cast<double>(sys_end);
 }

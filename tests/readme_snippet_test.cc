@@ -14,6 +14,7 @@
 #include "storage/serving.h"
 #include "tests/test_util.h"
 #include "util/metrics.h"
+#include "util/mutex.h"
 #include "util/trace.h"
 #include "workload/poi_dataset.h"
 
@@ -241,6 +242,38 @@ TEST(ReadmeSnippetTest, ObservabilitySnippetWorksAsAdvertised) {
   EXPECT_NE(prom.find("ctxpref_rank_cs_latency_ns_bucket"), std::string::npos);
   EXPECT_NE(json.find("\"ctxpref_rank_cs_latency_ns\""), std::string::npos);
   EXPECT_NE(json.find("\"p99_ns\""), std::string::npos);
+}
+
+// The README "Static analysis" snippet, verbatim: an annotated,
+// ranked mutex guarding two counters.
+class HitCounter {
+ public:
+  // EXCLUDES documents (and Clang enforces) "call without mu_ held".
+  void Record(bool hit) EXCLUDES(mu_) {
+    ctxpref::util::MutexLock lock(mu_);
+    ++lookups_;
+    if (hit) ++hits_;
+  }
+  double HitRate() const EXCLUDES(mu_) {
+    ctxpref::util::MutexLock lock(mu_);
+    return lookups_ == 0 ? 0.0 : static_cast<double>(hits_) / lookups_;
+  }
+
+ private:
+  // Ranked: acquiring this while holding any same-or-higher-ranked
+  // lock aborts in debug builds. Unannotated access to the fields
+  // below is a compile error under -Wthread-safety.
+  mutable ctxpref::util::Mutex mu_{
+      ctxpref::util::LockRank::kCacheShard, "HitCounter.mu"};
+  uint64_t lookups_ GUARDED_BY(mu_) = 0;
+  uint64_t hits_ GUARDED_BY(mu_) = 0;
+};
+
+TEST(ReadmeSnippetTest, StaticAnalysisSnippetWorksAsAdvertised) {
+  HitCounter counter;
+  counter.Record(true);
+  counter.Record(false);
+  EXPECT_DOUBLE_EQ(counter.HitRate(), 0.5);
 }
 
 }  // namespace

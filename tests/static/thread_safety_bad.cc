@@ -1,0 +1,28 @@
+// Negative snippet for the thread-safety compile-fail test: writes a
+// GUARDED_BY field without holding its mutex. Clang with
+// -Werror=thread-safety must REJECT this translation unit; if it ever
+// compiles, the analysis gate is not enforcing. Never built by the
+// normal targets — only tests/static/thread_safety_compile_test.sh
+// feeds it to clang with -fsyntax-only.
+
+#include "util/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  // BUG (deliberate): touches count_ with mu_ not held.
+  void Increment() { ++count_; }
+
+ private:
+  ctxpref::util::Mutex mu_;
+  int count_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Positive control for the thread-safety compile-fail test: the same
+// shape as thread_safety_bad.cc but with correct locking. Must compile
+// clean under -Wthread-safety -Werror=thread-safety — otherwise a
+// failure of the negative snippet would prove nothing (the flags could
+// simply be rejecting everything).
+
+#include "util/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() EXCLUDES(mu_) {
+    ctxpref::util::MutexLock lock(mu_);
+    ++count_;
+  }
+
+  int Get() const EXCLUDES(mu_) {
+    ctxpref::util::MutexLock lock(mu_);
+    return count_;
+  }
+
+ private:
+  mutable ctxpref::util::Mutex mu_;
+  int count_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.Get();
+}

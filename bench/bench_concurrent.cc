@@ -120,7 +120,11 @@ int RunCacheScaling() {
   std::printf("Warm sharded cache, 90%% Lookup / 10%% Put, %zu shards, "
               "%u hardware threads\n",
               cache.num_shards(), cores);
-  if (cores < 4) {
+  if (cores <= 1) {
+    std::printf("NOTE: single hardware thread; every multi-thread row "
+                "time-slices one core, so the speedup column is "
+                "informational only and no scaling bar applies.\n");
+  } else if (cores < 4) {
     std::printf("NOTE: <4 hardware threads available; thread counts beyond "
                 "%u time-slice one core and cannot show parallel speedup.\n",
                 cores);
@@ -181,7 +185,12 @@ int RunRankScaling() {
   q.context = *ecod;
 
   std::printf("\nParallel CachedRankCS over one exploratory query "
-              "(cold cache per run, shared pool)\n\n");
+              "(cold cache per run, shared pool)\n");
+  if (std::thread::hardware_concurrency() <= 1) {
+    std::printf("NOTE: single hardware thread; pool workers time-slice one "
+                "core, so the speedup column is informational only.\n");
+  }
+  std::printf("\n");
   std::printf("%8s %14s %12s\n", "threads", "queries/s", "speedup");
   double base = 0;
   for (size_t threads : {1u, 2u, 4u, 8u}) {

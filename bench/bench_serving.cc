@@ -303,11 +303,26 @@ int Run(const Flags& flags) {
     total_torn += r.torn;
   }
 
-  std::printf("\nchurn/baseline throughput: %.1f%% (bar: >= 90%%)\n",
-              baseline_qps == 0 ? 0.0 : 100 * churn_qps / baseline_qps);
+  // The churn/baseline bar is a parallelism claim (readers keep their
+  // throughput while a writer publishes), so it is only meaningful —
+  // and only enforced — with more than one hardware thread. On a
+  // single-CPU host the writer time-slices the reader's core and the
+  // ratio measures scheduling, not copy-on-write overhead.
+  const unsigned cores = std::thread::hardware_concurrency();
+  const double ratio = baseline_qps == 0 ? 0.0 : churn_qps / baseline_qps;
+  if (cores <= 1) {
+    std::printf("\nchurn/baseline throughput: %.1f%% (bar >= 90%% SKIPPED: "
+                "single hardware thread)\n",
+                100 * ratio);
+  } else {
+    std::printf("\nchurn/baseline throughput: %.1f%% (bar: >= 90%%%s)\n",
+                100 * ratio, ratio >= 0.9 ? "" : " FAILED");
+  }
   std::printf("torn reads: %llu (bar: 0)\n",
               static_cast<unsigned long long>(total_torn));
-  return total_torn == 0 ? 0 : 2;
+  if (total_torn != 0) return 2;
+  if (cores > 1 && ratio < 0.9) return 3;
+  return 0;
 }
 
 }  // namespace

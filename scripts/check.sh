@@ -14,6 +14,10 @@
 #   scripts/check.sh --thread-safety
 #                                 # Clang build with -Wthread-safety
 #                                 # -Werror=thread-safety (CI job)
+#   scripts/check.sh --bench-gate # Release bench_resolution run with
+#                                 # the flat-vs-pointer Search_CS
+#                                 # speedup gate + advisory baseline
+#                                 # diff (CI job)
 #
 # The static-analysis modes auto-detect clang/clang-tidy and print a
 # clear SKIP instead of failing on GCC-only machines; lint.py always
@@ -36,6 +40,7 @@ RUN_ASAN=1
 RUN_COV=0
 RUN_TIDY=0
 RUN_TSA=0
+RUN_BENCH=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) RUN_TSAN=1 ;;
@@ -45,6 +50,7 @@ for arg in "$@"; do
     --coverage) RUN_PLAIN=0; RUN_ASAN=0; RUN_TSAN=0; RUN_COV=1 ;;
     --only-tidy) RUN_PLAIN=0; RUN_ASAN=0; RUN_TSAN=0; RUN_TIDY=1 ;;
     --thread-safety) RUN_PLAIN=0; RUN_ASAN=0; RUN_TSAN=0; RUN_TSA=1 ;;
+    --bench-gate) RUN_PLAIN=0; RUN_ASAN=0; RUN_TSAN=0; RUN_BENCH=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -130,6 +136,36 @@ if [[ "${RUN_TSA}" == 1 ]]; then
     echo "SKIP: no clang++ on PATH — thread-safety analysis needs Clang" \
          "(GCC compiles the annotations as no-ops)"
   fi
+fi
+
+if [[ "${RUN_BENCH}" == 1 ]]; then
+  # Release resolution microbenches: the arena-flattened Search_CS
+  # must stay >= 5x the pointer walk at the serving-scale pair
+  # (/5000); smaller sizes and the committed-baseline absolute-time
+  # diff are advisory. Ratios are same-run, so the gate is robust to
+  # slow shared runners.
+  echo "==== bench gate (flat vs pointer resolution) ===="
+  # shellcheck disable=SC2086
+  cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release \
+    ${CTXPREF_CMAKE_ARGS:-} > /dev/null
+  bench_build_status=0
+  cmake --build build-bench -j "${JOBS}" --target bench_resolution \
+    -- --no-print-directory > build-bench/check-build.log 2>&1 \
+    || bench_build_status=$?
+  grep -E "error|warning" build-bench/check-build.log || true
+  if [[ "${bench_build_status}" -ne 0 ]]; then
+    echo "BUILD FAILED (bench); full log: build-bench/check-build.log" >&2
+    exit "${bench_build_status}"
+  fi
+  ./build-bench/bench/bench_resolution \
+    --benchmark_min_time=0.2 \
+    --benchmark_out=build-bench/bench_resolution.json
+  python3 scripts/compare_bench.py \
+    --speedup build-bench/bench_resolution.json \
+    --base-prefix BM_SearchCS_Pointer --target-prefix BM_SearchCS_Flat \
+    --min-ratio 5 --pair-filter '/5000$'
+  python3 scripts/compare_bench.py BENCH_resolution_baseline.json \
+    build-bench/bench_resolution.json
 fi
 
 if [[ "${RUN_TIDY}" == 1 ]]; then

@@ -1,15 +1,34 @@
 #!/usr/bin/env python3
-"""Advisory comparison of two google-benchmark JSON files.
+"""Comparison and gating over google-benchmark JSON files.
 
-Usage: compare_bench.py BASELINE.json CURRENT.json
+Modes:
 
-Prints a per-benchmark table of real_time deltas and emits GitHub
-Actions warning annotations for benchmarks slower than the baseline by
-more than the threshold. Always exits 0: shared-runner timings are too
-noisy to gate a merge on, so regressions are surfaced, not enforced.
+  compare_bench.py BASELINE.json CURRENT.json
+      Advisory two-file diff (the default): prints a per-benchmark
+      table of real_time deltas and emits GitHub Actions warning
+      annotations for benchmarks slower than the baseline by more than
+      the threshold. Exits 0 — shared-runner timings are too noisy to
+      gate every benchmark on.
+
+  compare_bench.py BASELINE.json CURRENT.json --gate REGEX
+      Same diff, but regressions whose name matches REGEX become
+      errors (exit 1). Only pin benchmarks that are stable enough on
+      the target runner.
+
+  compare_bench.py --speedup CURRENT.json \
+      --base-prefix BM_SearchCS_Pointer --target-prefix BM_SearchCS_Flat \
+      --min-ratio 5 [--pair-filter REGEX]
+      Same-run speedup gate: pairs benchmarks whose names share a
+      suffix after the two prefixes (e.g. ".../5000") and requires
+      base_time / target_time >= min-ratio for every pair whose suffix
+      matches --pair-filter (all pairs if omitted). Ratios are
+      runner-relative, so this is robust to slow shared hardware in a
+      way absolute-time gates are not. Exit 1 on any shortfall.
 """
 
+import argparse
 import json
+import re
 import sys
 
 # Generous on purpose: CI runners are shared and the smoke run uses a
@@ -33,12 +52,9 @@ def load(path):
     return out
 
 
-def main():
-    if len(sys.argv) != 3:
-        print(f"usage: {sys.argv[0]} BASELINE.json CURRENT.json")
-        return 0
-    base = load(sys.argv[1])
-    curr = load(sys.argv[2])
+def diff(baseline_path, current_path, gate_pattern):
+    base = load(baseline_path)
+    curr = load(current_path)
     if base is None or curr is None:
         return 0
 
@@ -47,21 +63,30 @@ def main():
         print("::warning::compare_bench: no common benchmarks to compare")
         return 0
 
+    gate = re.compile(gate_pattern) if gate_pattern else None
     width = max(len(n) for n in shared)
     print(f"{'benchmark':<{width}} {'baseline':>12} {'current':>12} {'delta':>8}")
-    regressions = []
+    advisory, gated = [], []
     for name in shared:
         b, c = base[name], curr[name]
         delta = (c - b) / b if b > 0 else 0.0
         flag = " <-- regression" if delta > THRESHOLD else ""
         print(f"{name:<{width}} {b:>10.0f}ns {c:>10.0f}ns {delta:>+7.1%}{flag}")
         if delta > THRESHOLD:
-            regressions.append((name, delta))
+            if gate is not None and gate.search(name):
+                gated.append((name, delta))
+            else:
+                advisory.append((name, delta))
 
-    for name, delta in regressions:
+    for name, delta in advisory:
         print(
             f"::warning::bench regression (advisory): {name} is {delta:+.1%} "
             f"vs committed baseline (threshold {THRESHOLD:.0%})"
+        )
+    for name, delta in gated:
+        print(
+            f"::error::bench regression (gated by /{gate_pattern}/): {name} "
+            f"is {delta:+.1%} vs committed baseline (threshold {THRESHOLD:.0%})"
         )
     only_base = sorted(set(base) - set(curr))
     only_curr = sorted(set(curr) - set(base))
@@ -69,7 +94,103 @@ def main():
         print(f"missing from current run: {', '.join(only_base)}")
     if only_curr:
         print(f"not in baseline (consider refreshing it): {', '.join(only_curr)}")
-    return 0
+    return 1 if gated else 0
+
+
+def speedup(current_path, base_prefix, target_prefix, min_ratio, pair_filter):
+    curr = load(current_path)
+    if curr is None:
+        print(f"::error::compare_bench: cannot load {current_path}")
+        return 1
+
+    # Pair by the suffix after each prefix: BM_Foo_Pointer/5000 and
+    # BM_Foo_Flat/5000 share the suffix "/5000".
+    base = {n[len(base_prefix):]: t for n, t in curr.items()
+            if n.startswith(base_prefix)}
+    target = {n[len(target_prefix):]: t for n, t in curr.items()
+              if n.startswith(target_prefix)}
+    suffixes = sorted(set(base) & set(target))
+    if not suffixes:
+        print(
+            f"::error::compare_bench: no {base_prefix}*/{target_prefix}* "
+            f"pairs in {current_path}"
+        )
+        return 1
+
+    gate = re.compile(pair_filter) if pair_filter else None
+    failures = []
+    gated_any = False
+    print(f"{'pair':>8} {'base':>12} {'target':>12} {'speedup':>9}  gate")
+    for suffix in suffixes:
+        b, t = base[suffix], target[suffix]
+        ratio = b / t if t > 0 else float("inf")
+        is_gated = gate is None or bool(gate.search(suffix))
+        gated_any = gated_any or is_gated
+        verdict = "advisory"
+        if is_gated:
+            verdict = f">= {min_ratio:g}x " + (
+                "OK" if ratio >= min_ratio else "FAIL"
+            )
+            if ratio < min_ratio:
+                failures.append((suffix, ratio))
+        print(f"{suffix:>8} {b:>10.0f}ns {t:>10.0f}ns {ratio:>8.2f}x  {verdict}")
+
+    if not gated_any:
+        print(
+            f"::error::compare_bench: --pair-filter '{pair_filter}' matched "
+            f"no pair suffixes ({', '.join(suffixes)})"
+        )
+        return 1
+    for suffix, ratio in failures:
+        print(
+            f"::error::speedup gate: {target_prefix}{suffix} is only "
+            f"{ratio:.2f}x faster than {base_prefix}{suffix} "
+            f"(required {min_ratio:g}x)"
+        )
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("files", nargs="*", help="BASELINE.json CURRENT.json")
+    parser.add_argument(
+        "--gate",
+        metavar="REGEX",
+        help="two-file mode: fail on regressions whose name matches REGEX",
+    )
+    parser.add_argument(
+        "--speedup",
+        metavar="CURRENT.json",
+        help="same-run speedup gate over one result file",
+    )
+    parser.add_argument("--base-prefix", help="speedup denominator name prefix")
+    parser.add_argument("--target-prefix", help="speedup numerator name prefix")
+    parser.add_argument(
+        "--min-ratio", type=float, default=5.0,
+        help="required base/target speedup (default 5)",
+    )
+    parser.add_argument(
+        "--pair-filter",
+        metavar="REGEX",
+        help="gate only pair suffixes matching REGEX; others are advisory",
+    )
+    args = parser.parse_args()
+
+    if args.speedup:
+        if not args.base_prefix or not args.target_prefix:
+            parser.error("--speedup requires --base-prefix and --target-prefix")
+        if args.files:
+            parser.error("--speedup takes no positional files")
+        return speedup(
+            args.speedup, args.base_prefix, args.target_prefix,
+            args.min_ratio, args.pair_filter,
+        )
+
+    if len(args.files) != 2:
+        parser.error("expected BASELINE.json CURRENT.json")
+    return diff(args.files[0], args.files[1], args.gate)
 
 
 if __name__ == "__main__":

@@ -18,16 +18,7 @@ const char* CombinePolicyToString(CombinePolicy p) {
   return "?";
 }
 
-void Ranker::AddWeighted(RowId row_id, double score, double weight) {
-  auto it = std::lower_bound(
-      entries_.begin(), entries_.end(), row_id,
-      [](const auto& e, RowId id) { return e.first < id; });
-  if (it == entries_.end() || it->first != row_id) {
-    entries_.insert(it,
-                    {row_id, Entry{score, score * weight, weight}});
-    return;
-  }
-  Entry& e = it->second;
+void Ranker::Combine(Entry& e, double score, double weight) {
   switch (policy_) {
     case CombinePolicy::kMax:
       e.combined = std::max(e.combined, score);
@@ -41,6 +32,55 @@ void Ranker::AddWeighted(RowId row_id, double score, double weight) {
   }
   e.weighted_sum += score * weight;
   e.weight_sum += weight;
+}
+
+void Ranker::AddWeighted(RowId row_id, double score, double weight) {
+  if (row_id < present_.size()) {
+    // Dense path (ReserveDense): one indexed load, no insertion shift.
+    Entry& e = dense_[row_id];
+    if (!present_[row_id]) {
+      present_[row_id] = 1;
+      touched_.push_back(row_id);
+      e = Entry{score, score * weight, weight};
+      return;
+    }
+    Combine(e, score, weight);
+    return;
+  }
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), row_id,
+      [](const auto& e, RowId id) { return e.first < id; });
+  if (it == entries_.end() || it->first != row_id) {
+    entries_.insert(it,
+                    {row_id, Entry{score, score * weight, weight}});
+    return;
+  }
+  Combine(it->second, score, weight);
+}
+
+void Ranker::ReserveDense(size_t num_rows) {
+  if (num_rows <= dense_.size()) return;
+  dense_.resize(num_rows);
+  present_.resize(num_rows, 0);
+  // Migrate flat-map entries the dense table now covers, so mixing
+  // ReserveDense with earlier Adds cannot double-count a row.
+  auto it = entries_.begin();
+  while (it != entries_.end()) {
+    if (it->first < num_rows) {
+      dense_[it->first] = it->second;
+      present_[it->first] = 1;
+      touched_.push_back(it->first);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Ranker::Clear() {
+  entries_.clear();
+  for (const RowId id : touched_) present_[id] = 0;
+  touched_.clear();
 }
 
 double Ranker::Finalize(const Entry& e) const {
@@ -57,9 +97,12 @@ double Ranker::Finalize(const Entry& e) const {
 
 std::vector<ScoredTuple> Ranker::Ranked() const {
   std::vector<ScoredTuple> out;
-  out.reserve(entries_.size());
+  out.reserve(size());
   for (const auto& [row_id, e] : entries_) {
     out.push_back(ScoredTuple{row_id, Finalize(e)});
+  }
+  for (const RowId id : touched_) {
+    out.push_back(ScoredTuple{id, Finalize(dense_[id])});
   }
   std::sort(out.begin(), out.end(),
             [](const ScoredTuple& a, const ScoredTuple& b) {

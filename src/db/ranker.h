@@ -47,8 +47,17 @@ class Ranker {
   /// Annotates with an explicit weight (used by kWeighted / kAvg).
   void AddWeighted(RowId row_id, double score, double weight);
 
+  /// Switches accumulation for row ids in [0, num_rows) to a dense
+  /// direct-index table: O(1) per `Add` instead of the sorted flat
+  /// map's O(log n) search + O(n) insert. `Rank_CS` calls this with
+  /// the relation's row count (row ids are dense there); rows at or
+  /// beyond `num_rows` still take the flat-map path, and entries
+  /// accumulated before the call are migrated, so results are
+  /// identical either way. Never shrinks.
+  void ReserveDense(size_t num_rows);
+
   /// Number of distinct rows annotated so far.
-  size_t size() const { return entries_.size(); }
+  size_t size() const { return entries_.size() + touched_.size(); }
 
   /// Ranked results: all annotated rows, descending combined score.
   std::vector<ScoredTuple> Ranked() const;
@@ -59,7 +68,7 @@ class Ranker {
   /// all results with the same score").
   std::vector<ScoredTuple> TopK(size_t k) const;
 
-  void Clear() { entries_.clear(); }
+  void Clear();
 
  private:
   struct Entry {
@@ -68,11 +77,19 @@ class Ranker {
     double weight_sum;   // Σ w.
   };
 
+  void Combine(Entry& e, double score, double weight);
   double Finalize(const Entry& e) const;
 
   CombinePolicy policy_;
-  /// row id -> accumulation; kept sorted by row id (flat map).
+  /// row id -> accumulation; kept sorted by row id (flat map). Holds
+  /// only rows outside the dense table's range.
   std::vector<std::pair<RowId, Entry>> entries_;
+  /// Dense accumulation (`ReserveDense`): direct-indexed entries, a
+  /// presence byte per row, and the list of touched rows so results
+  /// never scan the whole table.
+  std::vector<Entry> dense_;
+  std::vector<uint8_t> present_;
+  std::vector<RowId> touched_;
 };
 
 }  // namespace ctxpref::db

@@ -59,6 +59,7 @@ StatusOr<QueryResult> RankCS(const db::Relation& relation,
   ScopedLatency latency(&metrics.latency);
   QueryResult result;
   db::Ranker ranker(options.combine);
+  ranker.ReserveDense(relation.size());
 
   std::vector<ContextState> states = query.context.EnumerateStates(env);
   if (states.empty()) {
@@ -80,9 +81,10 @@ StatusOr<QueryResult> RankCS(const db::Relation& relation,
             db::Predicate::Create(relation.schema(), entry.clause.attribute,
                                   entry.clause.op, entry.clause.value);
         if (!pred.ok()) return pred.status();
-        std::vector<db::RowId> rows = options.indexes != nullptr
-                                          ? options.indexes->Select(*pred)
-                                          : relation.Select(*pred);
+        std::vector<db::RowId> rows =
+            options.indexes != nullptr ? options.indexes->Select(*pred)
+            : options.columns != nullptr ? options.columns->Select(*pred)
+                                         : relation.Select(*pred);
         for (db::RowId row : rows) {
           // Restricting selections, if any, must all pass.
           bool eligible = true;
@@ -119,6 +121,18 @@ StatusOr<QueryResult> RankCS(const db::Relation& relation,
 StatusOr<QueryResult> RankCS(const db::Relation& relation,
                              const ContextualQuery& query,
                              const TreeResolver& resolver,
+                             const QueryOptions& options,
+                             AccessCounter* counter) {
+  return RankCS(
+      relation, query, resolver.tree().env(),
+      [&resolver](const ContextState& s, const ResolutionOptions& opts,
+                  AccessCounter* c) { return resolver.ResolveBest(s, opts, c); },
+      options, counter);
+}
+
+StatusOr<QueryResult> RankCS(const db::Relation& relation,
+                             const ContextualQuery& query,
+                             const FlatResolver& resolver,
                              const QueryOptions& options,
                              AccessCounter* counter) {
   return RankCS(

@@ -76,6 +76,11 @@ struct QueryOptions {
   /// Rank_CS's selections use them instead of scanning (must have been
   /// built against the same relation).
   const db::IndexSet* indexes = nullptr;
+  /// Optional columnar projection of the queried relation; when set
+  /// (and `indexes` is not), Rank_CS's selections scan it attribute-
+  /// major instead of walking the row-store tuples. Must have been
+  /// built against the same relation contents.
+  const db::ColumnarProjection* columns = nullptr;
   /// Worker threads for `CachedRankCS`'s per-state loop. 1 = evaluate
   /// states inline (the historical behavior); > 1 spreads the states of
   /// the extended descriptor over a `ThreadPool`. The merge order is
@@ -131,6 +136,13 @@ StatusOr<QueryResult> RankCS(const db::Relation& relation,
 StatusOr<QueryResult> RankCS(const db::Relation& relation,
                              const ContextualQuery& query,
                              const TreeResolver& resolver,
+                             const QueryOptions& options = {},
+                             AccessCounter* counter = nullptr);
+
+/// Rank_CS against the arena-flattened tree (the serving hot path).
+StatusOr<QueryResult> RankCS(const db::Relation& relation,
+                             const ContextualQuery& query,
+                             const FlatResolver& resolver,
                              const QueryOptions& options = {},
                              AccessCounter* counter = nullptr);
 

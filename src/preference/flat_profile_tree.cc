@@ -1,0 +1,359 @@
+#include "preference/flat_profile_tree.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace ctxpref {
+
+namespace {
+
+/// Strict-weak order for the clause dictionary (AttributeClause only
+/// defines ==; db::Value is three-way comparable).
+struct ClauseLess {
+  bool operator()(const AttributeClause& a, const AttributeClause& b) const {
+    if (a.attribute != b.attribute) return a.attribute < b.attribute;
+    if (a.op != b.op) return a.op < b.op;
+    return a.value < b.value;
+  }
+};
+
+size_t StringHeapBytes(const std::string& s) {
+  // Heap payload approximated by capacity; SSO strings count 0.
+  return s.capacity() > sizeof(std::string) ? s.capacity() + 1 : 0;
+}
+
+/// Nodes at or below this cell count are scanned linearly; larger ones
+/// binary-search each ancestor key. Crossover is early because the
+/// linear scan must consult level_of per cell while a probe compares
+/// raw keys.
+constexpr uint32_t kLinearScanMax = 8;
+
+}  // namespace
+
+/// One matched cell during a descent: its child/insertion index (the
+/// recursion target and the sort key restoring insertion order), the
+/// matched key, and that key's distance step.
+struct FlatProfileTree::Scratch {
+  struct Match {
+    uint32_t child;
+    uint32_t key;
+    double step;
+  };
+  /// Cover tables, indexed by cover_off_[level] + hierarchy level:
+  /// anc_key = interned ancestor of the query component (kNoKey where
+  /// none), step = its distance contribution.
+  std::vector<uint32_t> anc_key;
+  std::vector<double> step;
+  /// Match lists, one segment per tree level (same offsets): a node
+  /// can match at most one cell per hierarchy level.
+  std::vector<Match> matches;
+  /// Root-to-leaf interned keys / per-parameter steps of the descent.
+  std::vector<uint32_t> path;
+  std::vector<double> step_by_param;
+};
+
+FlatProfileTree::Scratch& FlatProfileTree::TlsScratch() {
+  thread_local Scratch scratch;
+  return scratch;
+}
+
+FlatProfileTree FlatProfileTree::Build(const ProfileTree& tree) {
+  FlatProfileTree flat;
+  flat.env_ = tree.env_ptr();
+  flat.order_ = tree.ordering();
+  const size_t n = flat.env_->size();
+
+  // Per-parameter dense dictionaries over the extended domains.
+  flat.interners_.resize(n);
+  for (size_t p = 0; p < n; ++p) {
+    const Hierarchy& h = flat.env_->parameter(p).hierarchy();
+    Interner& in = flat.interners_[p];
+    in.level_offset.resize(h.num_levels() + 1);
+    in.level_offset[0] = 0;
+    for (LevelIndex l = 0; l < h.num_levels(); ++l) {
+      in.level_offset[l + 1] =
+          in.level_offset[l] + static_cast<uint32_t>(h.level_size(l));
+    }
+    in.level_of.resize(in.level_offset.back());
+    for (LevelIndex l = 0; l < h.num_levels(); ++l) {
+      for (uint32_t k = in.level_offset[l]; k < in.level_offset[l + 1]; ++k) {
+        in.level_of[k] = l;
+      }
+    }
+  }
+
+  // Scratch-slot offsets: level l owns one cover/match slot per
+  // hierarchy level of its parameter.
+  flat.cover_off_.resize(n + 1);
+  flat.cover_off_[0] = 0;
+  for (size_t l = 0; l < n; ++l) {
+    const size_t p = flat.order_.param_at_level(l);
+    flat.cover_off_[l + 1] =
+        flat.cover_off_[l] +
+        static_cast<uint32_t>(flat.env_->parameter(p).hierarchy().num_levels());
+  }
+
+  // Breadth-first flattening, one trie level at a time. Within a node
+  // the cells are key-sorted for binary search; each carries its
+  // insertion index, which names its child node at the next level (the
+  // BFS emits children in insertion order, so index = position).
+  flat.levels_.resize(n);
+  std::vector<const ProfileTree::Node*> nodes = {&tree.root()};
+  flat.node_count_ = 1;
+  std::vector<std::pair<uint32_t, uint32_t>> segment;  // (key, child)
+  for (size_t l = 0; l < n; ++l) {
+    Level& level = flat.levels_[l];
+    const Interner& in = flat.interners_[flat.order_.param_at_level(l)];
+    std::vector<const ProfileTree::Node*> next;
+    level.cell_begin.reserve(nodes.size() + 1);
+    for (const ProfileTree::Node* node : nodes) {
+      level.cell_begin.push_back(static_cast<uint32_t>(level.keys.size()));
+      segment.clear();
+      for (const ProfileTree::Node::Cell& cell : node->cells) {
+        segment.emplace_back(in.Intern(cell.key),
+                             static_cast<uint32_t>(next.size()));
+        next.push_back(cell.child.get());
+      }
+      std::sort(segment.begin(), segment.end());
+      for (const auto& [key, child] : segment) {
+        level.keys.push_back(key);
+        level.child.push_back(child);
+      }
+    }
+    level.cell_begin.push_back(static_cast<uint32_t>(level.keys.size()));
+    flat.cell_count_ += level.keys.size();
+    flat.node_count_ += next.size();
+    nodes = std::move(next);
+  }
+
+  // `nodes` is now the leaves in leaf-id order (for n == 0 that is the
+  // root itself, which then carries the entries directly).
+  std::map<AttributeClause, uint32_t, ClauseLess> clause_ids;
+  flat.leaf_begin_.reserve(nodes.size() + 1);
+  for (const ProfileTree::Node* leaf : nodes) {
+    flat.leaf_begin_.push_back(static_cast<uint32_t>(flat.entries_.size()));
+    for (const ProfileTree::LeafEntry& entry : leaf->entries) {
+      auto [it, inserted] = clause_ids.try_emplace(
+          entry.clause, static_cast<uint32_t>(flat.clauses_.size()));
+      if (inserted) flat.clauses_.push_back(entry.clause);
+      flat.entries_.push_back(FlatEntry{it->second, entry.ref, entry.score});
+    }
+  }
+  flat.leaf_begin_.push_back(static_cast<uint32_t>(flat.entries_.size()));
+  return flat;
+}
+
+void FlatProfileTree::Descend(size_t level, uint32_t node,
+                              AccessCounter* counter, Scratch& scratch,
+                              std::vector<FlatCandidate>& out,
+                              std::vector<uint32_t>& path_keys) const {
+  if (level == num_levels()) {
+    // Canonical distance: per-parameter steps summed in environment
+    // order, exactly like `StateDistance` — never in tree-level order,
+    // whose FP rounding can drift from the oracle's (DESIGN.md).
+    double distance = 0.0;
+    for (const double step : scratch.step_by_param) distance += step;
+    out.push_back(FlatCandidate{node, distance});
+    path_keys.insert(path_keys.end(), scratch.path.begin(),
+                     scratch.path.end());
+    return;
+  }
+  const Level& lvl = levels_[level];
+  const size_t p = order_.param_at_level(level);
+  const uint32_t off = cover_off_[level];
+  const uint32_t num_anc = cover_off_[level + 1] - off;
+  const uint32_t* anc_key = scratch.anc_key.data() + off;
+  const double* step = scratch.step.data() + off;
+  Scratch::Match* matches = scratch.matches.data() + off;
+  const uint32_t begin = lvl.cell_begin[node];
+  const uint32_t end = lvl.cell_begin[node + 1];
+  uint32_t num_matches = 0;
+  if (end - begin <= kLinearScanMax) {
+    const uint16_t* level_of = interners_[p].level_of.data();
+    for (uint32_t c = begin; c < end; ++c) {
+      if (counter != nullptr) counter->AddCell();
+      const uint32_t key = lvl.keys[c];
+      const uint16_t hl = level_of[key];
+      if (anc_key[hl] != key) continue;
+      matches[num_matches++] =
+          Scratch::Match{lvl.child[c], key, step[hl]};
+    }
+  } else {
+    // One binary search per covering ancestor (≤ hierarchy depth) —
+    // O(L log C) against the pointer tree's O(C) scan.
+    const uint32_t* keys = lvl.keys.data();
+    for (uint32_t hl = 0; hl < num_anc; ++hl) {
+      const uint32_t target = anc_key[hl];
+      if (target == kNoKey) continue;
+      uint32_t lo = begin;
+      uint32_t hi = end;
+      while (lo < hi) {
+        if (counter != nullptr) counter->AddCell();
+        const uint32_t mid = lo + (hi - lo) / 2;
+        if (keys[mid] < target) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      if (lo < end && keys[lo] == target) {
+        matches[num_matches++] =
+            Scratch::Match{lvl.child[lo], target, step[hl]};
+      }
+    }
+  }
+  // Insertion order = child-index order; restoring it keeps candidate
+  // emission bit-identical to the pointer DFS. The list is tiny (≤
+  // hierarchy depth) so an insertion sort beats std::sort's dispatch.
+  for (uint32_t i = 1; i < num_matches; ++i) {
+    const Scratch::Match m = matches[i];
+    uint32_t j = i;
+    for (; j > 0 && matches[j - 1].child > m.child; --j) {
+      matches[j] = matches[j - 1];
+    }
+    matches[j] = m;
+  }
+  for (uint32_t i = 0; i < num_matches; ++i) {
+    const Scratch::Match m = matches[i];
+    scratch.path[level] = m.key;
+    scratch.step_by_param[p] = m.step;
+    Descend(level + 1, m.child, counter, scratch, out, path_keys);
+  }
+}
+
+void FlatProfileTree::SearchCS(const ContextState& query, DistanceKind kind,
+                               bool exact_only, AccessCounter* counter,
+                               std::vector<FlatCandidate>& out,
+                               std::vector<uint32_t>& path_keys) const {
+  out.clear();
+  path_keys.clear();
+  const size_t n = num_levels();
+  if (n == 0) {
+    if (PathCount() > 0) {
+      out.push_back(FlatCandidate{0, 0.0});
+    }
+    return;
+  }
+  // Per level: the interned ancestor chain of the query component and
+  // its per-level distance steps, computed once into the thread-local
+  // scratch — the descent itself touches only integer keys.
+  Scratch& scratch = TlsScratch();
+  scratch.anc_key.assign(cover_off_[n], kNoKey);
+  scratch.step.resize(cover_off_[n]);
+  scratch.matches.resize(cover_off_[n]);
+  scratch.path.resize(n);
+  scratch.step_by_param.assign(env_->size(), 0.0);
+  for (size_t l = 0; l < n; ++l) {
+    const size_t p = order_.param_at_level(l);
+    const Hierarchy& h = env_->parameter(p).hierarchy();
+    const Interner& in = interners_[p];
+    const ValueRef qv = query.value(p);
+    uint32_t* anc_key = scratch.anc_key.data() + cover_off_[l];
+    double* step = scratch.step.data() + cover_off_[l];
+    if (exact_only) {
+      anc_key[qv.level] = in.Intern(qv);
+      step[qv.level] = 0.0;  // Slot may hold a stale non-exact step.
+      continue;
+    }
+    for (LevelIndex hl = qv.level; hl < h.num_levels(); ++hl) {
+      const ValueRef anc = h.Anc(qv, hl);
+      anc_key[hl] = in.Intern(anc);
+      step[hl] = kind == DistanceKind::kJaccard
+                     ? h.JaccardDistance(anc, qv)
+                     : static_cast<double>(h.LevelDistance(hl, qv.level));
+    }
+  }
+  Descend(0, 0, counter, scratch, out, path_keys);
+}
+
+uint32_t FlatProfileTree::ExactLookup(const ContextState& state,
+                                      AccessCounter* counter) const {
+  const size_t n = num_levels();
+  if (n == 0) return PathCount() > 0 ? 0 : kNoLeaf;
+  uint32_t node = 0;
+  for (size_t l = 0; l < n; ++l) {
+    const Level& lvl = levels_[l];
+    const size_t p = order_.param_at_level(l);
+    const uint32_t target = interners_[p].Intern(state.value(p));
+    const uint32_t* keys = lvl.keys.data();
+    uint32_t lo = lvl.cell_begin[node];
+    const uint32_t end = lvl.cell_begin[node + 1];
+    uint32_t hi = end;
+    while (lo < hi) {
+      if (counter != nullptr) counter->AddCell();
+      const uint32_t mid = lo + (hi - lo) / 2;
+      if (keys[mid] < target) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo >= end || keys[lo] != target) return kNoLeaf;
+    node = lvl.child[lo];
+  }
+  return node;
+}
+
+ContextState FlatProfileTree::StateOf(const uint32_t* path) const {
+  const size_t n = num_levels();
+  std::vector<ValueRef> values(n);
+  for (size_t l = 0; l < n; ++l) {
+    const size_t p = order_.param_at_level(l);
+    values[p] = interners_[p].Unintern(path[l]);
+  }
+  return ContextState(std::move(values));
+}
+
+double FlatProfileTree::HierarchyDistanceOf(const uint32_t* path,
+                                            const ContextState& query) const {
+  // Per-parameter level distances are small integers, so the FP sum is
+  // exact in any order — no need to reorder into env order here.
+  double distance = 0.0;
+  for (size_t l = 0; l < num_levels(); ++l) {
+    const size_t p = order_.param_at_level(l);
+    const Hierarchy& h = env_->parameter(p).hierarchy();
+    const ValueRef v = interners_[p].Unintern(path[l]);
+    distance += h.LevelDistance(v.level, query.value(p).level);
+  }
+  return distance;
+}
+
+std::vector<ProfileTree::LeafEntry> FlatProfileTree::EntriesOf(
+    uint32_t leaf) const {
+  std::vector<ProfileTree::LeafEntry> out;
+  out.reserve(leaf_begin_[leaf + 1] - leaf_begin_[leaf]);
+  for (const FlatEntry* e = entries_begin(leaf); e != entries_end(leaf); ++e) {
+    out.push_back(
+        ProfileTree::LeafEntry{clauses_[e->clause_id], e->score, e->ref});
+  }
+  return out;
+}
+
+size_t FlatProfileTree::MeasuredByteSize() const {
+  size_t bytes = sizeof(*this);
+  bytes += interners_.capacity() * sizeof(Interner);
+  for (const Interner& in : interners_) {
+    bytes += in.level_offset.capacity() * sizeof(uint32_t);
+    bytes += in.level_of.capacity() * sizeof(uint16_t);
+  }
+  bytes += levels_.capacity() * sizeof(Level);
+  for (const Level& level : levels_) {
+    bytes += level.cell_begin.capacity() * sizeof(uint32_t);
+    bytes += level.keys.capacity() * sizeof(uint32_t);
+    bytes += level.child.capacity() * sizeof(uint32_t);
+  }
+  bytes += cover_off_.capacity() * sizeof(uint32_t);
+  bytes += leaf_begin_.capacity() * sizeof(uint32_t);
+  bytes += entries_.capacity() * sizeof(FlatEntry);
+  bytes += clauses_.capacity() * sizeof(AttributeClause);
+  for (const AttributeClause& clause : clauses_) {
+    bytes += StringHeapBytes(clause.attribute);
+    if (clause.value.type() == db::ColumnType::kString) {
+      bytes += StringHeapBytes(clause.value.AsString());
+    }
+  }
+  return bytes;
+}
+
+}  // namespace ctxpref

@@ -1,0 +1,190 @@
+#ifndef CTXPREF_PREFERENCE_FLAT_PROFILE_TREE_H_
+#define CTXPREF_PREFERENCE_FLAT_PROFILE_TREE_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "context/distance.h"
+#include "context/environment.h"
+#include "context/state.h"
+#include "preference/ordering.h"
+#include "preference/profile_tree.h"
+#include "util/counters.h"
+
+namespace ctxpref {
+
+/// An immutable, arena-flattened rendering of a `ProfileTree`, built
+/// once per `ProfileSnapshot` publish (docs/serving.md). The pointer
+/// tree stays the mutable build/reference structure; this is the
+/// serving-path copy the resolver descends.
+///
+/// Layout (all storage is a handful of contiguous vectors):
+///  - Value interning: each context parameter gets a dense dictionary
+///    over its extended domain — `key = level_offset[level] + id` — so
+///    cell keys are single `uint32_t`s and "is this cell an ancestor of
+///    the query component?" is one table load plus one integer compare
+///    (the per-query ancestor chain is precomputed per level).
+///  - Nodes: level ℓ of the trie stores its cells level-contiguously,
+///    grouped per node by a CSR offset array and *key-sorted within
+///    each node* so a descent binary-searches the handful of ancestor
+///    keys instead of scanning every cell. Each cell carries its
+///    original insertion index, which doubles as the child "pointer":
+///    insertion-index `c` of level ℓ *is* node `c` of level ℓ+1 (and,
+///    at the last level, leaf `c`). Matches are re-sorted by that index
+///    before recursing, so candidates still come out in exactly the
+///    pointer tree's (insertion-order DFS) order.
+///  - Leaves: leaf entries live in one flat array behind a CSR offset
+///    array; attribute clauses are deduplicated into a dictionary so an
+///    entry is `(clause id, score, ref)` — 16 bytes, no strings.
+///
+/// Instances are immutable after `Build` and shared across reader
+/// threads without locks (they hold no mutable state; search scratch
+/// is caller-owned or thread-local). See docs/static_analysis.md.
+class FlatProfileTree {
+ public:
+  /// Sentinel for "no ancestor at this level covers the query".
+  static constexpr uint32_t kNoKey = std::numeric_limits<uint32_t>::max();
+  static constexpr uint32_t kNoLeaf = std::numeric_limits<uint32_t>::max();
+
+  /// One leaf entry: `(Ai θ a, score)` with the clause interned.
+  /// Mirrors `ProfileTree::LeafEntry` (including the ref count, so a
+  /// rebuild after removals round-trips exactly).
+  struct FlatEntry {
+    uint32_t clause_id = 0;
+    uint32_t ref = 1;
+    double score = 0.0;
+  };
+
+  /// One covering candidate found by `SearchCS`: the leaf it ends in
+  /// and its distance from the query summed in *environment* order
+  /// (the canonical accumulation order of `StateDistance`; see
+  /// DESIGN.md on FP accumulation-order drift). The root-to-leaf key
+  /// path lives in the caller's flat `path_keys` buffer at
+  /// `[index * num_levels, (index + 1) * num_levels)`.
+  struct FlatCandidate {
+    uint32_t leaf = 0;
+    double distance = 0.0;
+  };
+
+  /// Flattens `tree`. Candidate emission order is the pointer tree's
+  /// (insertion-order DFS) order, preserved via the cells' insertion
+  /// indices.
+  static FlatProfileTree Build(const ProfileTree& tree);
+
+  const ContextEnvironment& env() const { return *env_; }
+  const EnvironmentPtr& env_ptr() const { return env_; }
+  const Ordering& ordering() const { return order_; }
+  /// Tree depth = number of context parameters.
+  size_t num_levels() const { return levels_.size(); }
+
+  /// Search_CS (paper Algorithm 1) over integer keys: descends from the
+  /// root following every cell whose key is the query component or one
+  /// of its ancestors, appending covering candidates to `out` and their
+  /// root-to-leaf key paths to `path_keys` (both are cleared first).
+  /// `exact_only` restricts to the exact path (paper §4.4 case 1).
+  /// Ticks `counter` per key comparison (linear cells inspected on
+  /// small nodes, binary-search probes on large ones — the flat cost
+  /// model, deliberately below the pointer tree's |edom| scans).
+  void SearchCS(const ContextState& query, DistanceKind kind, bool exact_only,
+                AccessCounter* counter, std::vector<FlatCandidate>& out,
+                std::vector<uint32_t>& path_keys) const;
+
+  /// Exact-match lookup (paper §4.4 first case): returns the leaf id of
+  /// `state`'s path, or `kNoLeaf` when absent.
+  uint32_t ExactLookup(const ContextState& state,
+                       AccessCounter* counter = nullptr) const;
+
+  /// The stored context state a root-to-leaf key path denotes, in
+  /// environment component order.
+  ContextState StateOf(const uint32_t* path) const;
+
+  /// Hierarchy distance (Def. 14/15) between `StateOf(path)` and
+  /// `query`, summed in environment order — the Jaccard tie-break key,
+  /// computable without materializing the state.
+  double HierarchyDistanceOf(const uint32_t* path,
+                             const ContextState& query) const;
+
+  /// Leaf entry ranges (leaf ids are dense in [0, PathCount())).
+  const FlatEntry* entries_begin(uint32_t leaf) const {
+    return entries_.data() + leaf_begin_[leaf];
+  }
+  const FlatEntry* entries_end(uint32_t leaf) const {
+    return entries_.data() + leaf_begin_[leaf + 1];
+  }
+  const AttributeClause& clause(uint32_t clause_id) const {
+    return clauses_[clause_id];
+  }
+  size_t num_clauses() const { return clauses_.size(); }
+
+  /// Copies a leaf's entries back into the pointer tree's entry form.
+  std::vector<ProfileTree::LeafEntry> EntriesOf(uint32_t leaf) const;
+
+  /// ---- Size accounting (satellite to paper Fig. 5) ----
+
+  /// Structural counts; match the pointer tree's by construction.
+  size_t CellCount() const { return cell_count_; }
+  size_t NodeCount() const { return node_count_; }
+  size_t PathCount() const { return leaf_begin_.empty() ? 0 : leaf_begin_.size() - 1; }
+  size_t LeafEntryCount() const { return entries_.size(); }
+
+  /// Bytes actually resident in the arena (vector capacities plus the
+  /// clause dictionary's string payloads) — the "measured" column next
+  /// to the paper's modeled `ProfileTree::ByteSize()` in bench_fig5.
+  size_t MeasuredByteSize() const;
+
+ private:
+  /// Per-parameter dense dictionary over the extended domain.
+  struct Interner {
+    /// level_offset[l] = first key of hierarchy level l;
+    /// level_offset.back() = extended domain size.
+    std::vector<uint32_t> level_offset;
+    /// level_of[key] = hierarchy level of `key` (inverse of the
+    /// partition above, precomputed so descents never binary-search).
+    std::vector<uint16_t> level_of;
+
+    uint32_t Intern(ValueRef v) const { return level_offset[v.level] + v.id; }
+    ValueRef Unintern(uint32_t key) const {
+      const LevelIndex l = static_cast<LevelIndex>(level_of[key]);
+      return ValueRef{l, key - level_offset[l]};
+    }
+  };
+
+  /// One trie level: cells of all the level's nodes, level-contiguous
+  /// and key-sorted within each node's `cell_begin` (CSR) segment.
+  /// `child[c]` is the cell's insertion index within the level — the
+  /// implicit pointer to node `child[c]` of the next level.
+  struct Level {
+    std::vector<uint32_t> cell_begin;  ///< size = node count + 1
+    std::vector<uint32_t> keys;        ///< interned keys, sorted per node
+    std::vector<uint32_t> child;       ///< insertion index = next-level node
+  };
+
+  /// Reusable per-query buffers (cover tables, descent path, match
+  /// lists); fetched thread-locally so steady-state searches allocate
+  /// nothing. Defined in the .cc.
+  struct Scratch;
+  static Scratch& TlsScratch();
+
+  void Descend(size_t level, uint32_t node, AccessCounter* counter,
+               Scratch& scratch, std::vector<FlatCandidate>& out,
+               std::vector<uint32_t>& path_keys) const;
+
+  EnvironmentPtr env_;
+  Ordering order_;
+  std::vector<Interner> interners_;  ///< Indexed by parameter (env order).
+  std::vector<Level> levels_;        ///< Indexed by tree level.
+  /// Per-level offsets into the per-query cover/match scratch arrays:
+  /// level l owns slots [cover_off_[l], cover_off_[l+1]), one per
+  /// hierarchy level of its parameter.
+  std::vector<uint32_t> cover_off_;
+  std::vector<uint32_t> leaf_begin_; ///< CSR into entries_; size leaves+1.
+  std::vector<FlatEntry> entries_;
+  std::vector<AttributeClause> clauses_;  ///< Deduplicated dictionary.
+  size_t cell_count_ = 0;
+  size_t node_count_ = 0;
+};
+
+}  // namespace ctxpref
+
+#endif  // CTXPREF_PREFERENCE_FLAT_PROFILE_TREE_H_

@@ -159,6 +159,35 @@ Status ProfileTree::Remove(const ContextualPreference& pref) {
   return Status::OK();
 }
 
+namespace {
+
+size_t StringHeapBytes(const std::string& s) {
+  // Heap payload approximated by capacity; SSO strings count 0.
+  return s.capacity() > sizeof(std::string) ? s.capacity() + 1 : 0;
+}
+
+size_t MeasuredNodeBytes(const ProfileTree::Node& node) {
+  size_t bytes = sizeof(ProfileTree::Node);
+  bytes += node.cells.capacity() * sizeof(ProfileTree::Node::Cell);
+  bytes += node.entries.capacity() * sizeof(ProfileTree::LeafEntry);
+  for (const ProfileTree::LeafEntry& e : node.entries) {
+    bytes += StringHeapBytes(e.clause.attribute);
+    if (e.clause.value.type() == db::ColumnType::kString) {
+      bytes += StringHeapBytes(e.clause.value.AsString());
+    }
+  }
+  for (const ProfileTree::Node::Cell& cell : node.cells) {
+    bytes += MeasuredNodeBytes(*cell.child);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+size_t ProfileTree::MeasuredByteSize() const {
+  return sizeof(*this) + MeasuredNodeBytes(*root_);
+}
+
 const std::vector<ProfileTree::LeafEntry>* ProfileTree::ExactLookup(
     const ContextState& state, AccessCounter* counter) const {
   const Node* node = root_.get();

@@ -76,6 +76,7 @@ class ProfileTree {
   static StatusOr<ProfileTree> Build(const Profile& profile);
 
   const ContextEnvironment& env() const { return *env_; }
+  const EnvironmentPtr& env_ptr() const { return env_; }
   const Ordering& ordering() const { return order_; }
   const Node& root() const { return *root_; }
 
@@ -121,10 +122,19 @@ class ProfileTree {
   size_t PathCount() const { return path_count_; }
   /// Total leaf entries.
   size_t LeafEntryCount() const { return leaf_entry_count_; }
-  /// Cells·kCellBytes + leaf entries·kLeafEntryBytes.
+  /// Cells·kCellBytes + leaf entries·kLeafEntryBytes — the paper's
+  /// *modeled* bytes (Fig. 5 right), deliberately not the process
+  /// footprint. See `MeasuredByteSize()` for what the structure
+  /// actually occupies; bench_fig5 reports both side by side.
   size_t ByteSize() const {
     return cell_count_ * kCellBytes + leaf_entry_count_ * kLeafEntryBytes;
   }
+  /// Bytes actually resident: every node's struct, cell and entry
+  /// buffer capacities, and the heap payloads of clause strings. This
+  /// is what the modeled figure under-counts (node overhead, vector
+  /// slack, string storage) — reported next to `ByteSize()` in
+  /// bench_fig5.
+  size_t MeasuredByteSize() const;
 
  private:
   /// Walks the path for `state`, creating nodes as needed when

@@ -226,7 +226,7 @@ std::shared_ptr<const ContextQueryTree::Entry> ContextQueryTree::Lookup(
 void ContextQueryTree::Put(const std::string& user, const ContextState& state,
                            uint64_t profile_version,
                            std::vector<db::ScoredTuple> tuples,
-                           std::vector<CandidatePath> candidates) {
+                           CandidateSetPtr candidates) {
   CacheMetrics& metrics = CacheMetrics::Get();
   TraceSpan span("query_cache.put");
   ScopedLatency latency(&metrics.put_latency);
@@ -342,15 +342,16 @@ namespace {
 /// Outcome of evaluating one query state: either served from cache or
 /// recomputed (and cached); `candidates` carries the resolution trace
 /// in both cases so hits and misses are indistinguishable downstream.
+/// The set is shared with the cache entry, not copied, so hits cost one
+/// refcount bump instead of a deep copy of states + clause strings.
 struct PerStateResult {
   Status status = Status::OK();
   std::vector<db::ScoredTuple> tuples;
-  std::vector<CandidatePath> candidates;
+  ContextQueryTree::CandidateSetPtr candidates;
 };
 
 PerStateResult EvaluateState(const db::Relation& relation,
-                             const ContextState& s,
-                             const TreeResolver& resolver,
+                             const ContextState& s, const ResolveFn& resolve,
                              const std::string& cache_user,
                              uint64_t profile_version, ContextQueryTree& cache,
                              const QueryOptions& options,
@@ -366,9 +367,9 @@ PerStateResult EvaluateState(const db::Relation& relation,
   }
   // Compute this state's contribution with plain Rank_CS, then
   // populate the cache.
-  std::vector<CandidatePath> best =
-      resolver.ResolveBest(s, options.resolution, counter);
+  std::vector<CandidatePath> best = resolve(s, options.resolution, counter);
   db::Ranker state_ranker(options.combine);
+  state_ranker.ReserveDense(relation.size());
   for (const CandidatePath& cand : best) {
     for (const ProfileTree::LeafEntry& entry : cand.entries) {
       StatusOr<db::Predicate> pred =
@@ -378,27 +379,36 @@ PerStateResult EvaluateState(const db::Relation& relation,
         out.status = pred.status();
         return out;
       }
-      for (db::RowId row : relation.Select(*pred)) {
+      std::vector<db::RowId> rows =
+          options.indexes != nullptr ? options.indexes->Select(*pred)
+          : options.columns != nullptr ? options.columns->Select(*pred)
+                                       : relation.Select(*pred);
+      for (db::RowId row : rows) {
         state_ranker.Add(row, entry.score);
       }
     }
   }
   out.tuples = state_ranker.Ranked();
-  out.candidates = std::move(best);
+  out.candidates =
+      std::make_shared<const std::vector<CandidatePath>>(std::move(best));
   cache.Put(cache_user, s, profile_version, out.tuples, out.candidates);
   return out;
 }
 
-}  // namespace
-
-StatusOr<QueryResult> CachedRankCS(const db::Relation& relation,
-                                   const ContextualQuery& query,
-                                   const TreeResolver& resolver,
-                                   const std::string& cache_user,
-                                   uint64_t profile_version,
-                                   ContextQueryTree& cache,
-                                   const QueryOptions& options,
-                                   AccessCounter* counter) {
+/// Shared body of the `TreeResolver` / `FlatResolver` overloads: the
+/// cache protocol only needs the environment and a way to resolve one
+/// state, so both resolvers funnel through here and produce identical
+/// cache entries (interchangeable across backends at the same
+/// profile version).
+StatusOr<QueryResult> CachedRankCSImpl(const db::Relation& relation,
+                                       const ContextualQuery& query,
+                                       const ContextEnvironment& env,
+                                       const ResolveFn& resolve,
+                                       const std::string& cache_user,
+                                       uint64_t profile_version,
+                                       ContextQueryTree& cache,
+                                       const QueryOptions& options,
+                                       AccessCounter* counter) {
   if (options.combine != db::CombinePolicy::kMax &&
       options.combine != db::CombinePolicy::kMin) {
     return Status::InvalidArgument(
@@ -407,7 +417,6 @@ StatusOr<QueryResult> CachedRankCS(const db::Relation& relation,
   RankMetrics& metrics = RankMetrics::Get();
   TraceSpan span("cached_rank_cs");
   ScopedLatency latency(&metrics.latency);
-  const ContextEnvironment& env = resolver.tree().env();
 
   std::vector<ContextState> states = query.context.EnumerateStates(env);
   if (states.empty()) states.push_back(ContextState::AllState(env));
@@ -423,7 +432,7 @@ StatusOr<QueryResult> CachedRankCS(const db::Relation& relation,
   const size_t threads = std::min(options.num_threads, states.size());
   if (options.pool == nullptr && threads <= 1) {
     for (size_t i = 0; i < states.size(); ++i) {
-      per_state[i] = EvaluateState(relation, states[i], resolver, cache_user,
+      per_state[i] = EvaluateState(relation, states[i], resolve, cache_user,
                                    profile_version, cache, options, counter);
     }
   } else {
@@ -447,7 +456,7 @@ StatusOr<QueryResult> CachedRankCS(const db::Relation& relation,
       pool->Submit([&, i] {
         PerStateResult r;
         try {
-          r = EvaluateState(relation, states[i], resolver, cache_user,
+          r = EvaluateState(relation, states[i], resolve, cache_user,
                             profile_version, cache, options, counter);
         } catch (const std::exception& e) {
           r.status = Status::Internal(e.what());
@@ -482,8 +491,12 @@ StatusOr<QueryResult> CachedRankCS(const db::Relation& relation,
       }
       if (eligible) ranker.Add(t.row_id, t.score);
     }
-    result.traces.push_back(
-        QueryResult::Trace{states[i], std::move(ps.candidates)});
+    // Traces expose plain vectors (explain/CLI consumers mutate and
+    // move them), so the shared set is copied out here — once per
+    // state, same as the pre-sharing cache-hit cost.
+    result.traces.push_back(QueryResult::Trace{
+        states[i], ps.candidates != nullptr ? *ps.candidates
+                                            : std::vector<CandidatePath>{}});
   }
 
   result.tuples =
@@ -497,6 +510,23 @@ StatusOr<QueryResult> CachedRankCS(const db::Relation& relation,
   return result;
 }
 
+}  // namespace
+
+StatusOr<QueryResult> CachedRankCS(const db::Relation& relation,
+                                   const ContextualQuery& query,
+                                   const TreeResolver& resolver,
+                                   const std::string& cache_user,
+                                   uint64_t profile_version,
+                                   ContextQueryTree& cache,
+                                   const QueryOptions& options,
+                                   AccessCounter* counter) {
+  return CachedRankCSImpl(
+      relation, query, resolver.tree().env(),
+      [&resolver](const ContextState& s, const ResolutionOptions& opts,
+                  AccessCounter* c) { return resolver.ResolveBest(s, opts, c); },
+      cache_user, profile_version, cache, options, counter);
+}
+
 StatusOr<QueryResult> CachedRankCS(const db::Relation& relation,
                                    const ContextualQuery& query,
                                    const TreeResolver& resolver,
@@ -507,6 +537,32 @@ StatusOr<QueryResult> CachedRankCS(const db::Relation& relation,
   // Single-tenant form: the profile's own mutation counter is the
   // version tag. Sound only while this same Profile object is both
   // served and edited in place — see the header comment.
+  return CachedRankCS(relation, query, resolver, options.cache_user,
+                      profile.version(), cache, options, counter);
+}
+
+StatusOr<QueryResult> CachedRankCS(const db::Relation& relation,
+                                   const ContextualQuery& query,
+                                   const FlatResolver& resolver,
+                                   const std::string& cache_user,
+                                   uint64_t profile_version,
+                                   ContextQueryTree& cache,
+                                   const QueryOptions& options,
+                                   AccessCounter* counter) {
+  return CachedRankCSImpl(
+      relation, query, resolver.tree().env(),
+      [&resolver](const ContextState& s, const ResolutionOptions& opts,
+                  AccessCounter* c) { return resolver.ResolveBest(s, opts, c); },
+      cache_user, profile_version, cache, options, counter);
+}
+
+StatusOr<QueryResult> CachedRankCS(const db::Relation& relation,
+                                   const ContextualQuery& query,
+                                   const FlatResolver& resolver,
+                                   const Profile& profile,
+                                   ContextQueryTree& cache,
+                                   const QueryOptions& options,
+                                   AccessCounter* counter) {
   return CachedRankCS(relation, query, resolver, options.cache_user,
                       profile.version(), cache, options, counter);
 }

@@ -72,12 +72,20 @@ class ContextQueryTree {
  public:
   static constexpr size_t kDefaultShards = 8;
 
+  /// A shared immutable set of winning candidate paths. Entries hold
+  /// the set behind one pointer so cache hits share it instead of
+  /// deep-copying the candidate vectors (states + entries + clause
+  /// strings) — the flat candidate sets of the arena-backed serving
+  /// path are cached this way.
+  using CandidateSetPtr = std::shared_ptr<const std::vector<CandidatePath>>;
+
   /// What a leaf caches for one context state: the ranked tuples plus
   /// the winning candidate paths that produced them, so cache hits can
   /// reconstruct the same resolution trace as the original miss.
   struct Entry {
     std::vector<db::ScoredTuple> tuples;
-    std::vector<CandidatePath> candidates;
+    /// Null means "no candidates recorded" (treated as empty).
+    CandidateSetPtr candidates;
   };
 
   /// `capacity` = target number of cached states across all shards
@@ -135,12 +143,12 @@ class ContextQueryTree {
   /// shard's least-recently-used entry beyond the shard capacity.
   void Put(const std::string& user, const ContextState& state,
            uint64_t profile_version, std::vector<db::ScoredTuple> tuples,
-           std::vector<CandidatePath> candidates = {});
+           CandidateSetPtr candidates = nullptr);
 
   /// Single-user sugar: `Put("", state, ...)`.
   void Put(const ContextState& state, uint64_t profile_version,
            std::vector<db::ScoredTuple> tuples,
-           std::vector<CandidatePath> candidates = {}) {
+           CandidateSetPtr candidates = nullptr) {
     Put(std::string(), state, profile_version, std::move(tuples),
         std::move(candidates));
   }
@@ -265,6 +273,27 @@ StatusOr<QueryResult> CachedRankCS(const db::Relation& relation,
 StatusOr<QueryResult> CachedRankCS(const db::Relation& relation,
                                    const ContextualQuery& query,
                                    const TreeResolver& resolver,
+                                   const Profile& profile,
+                                   ContextQueryTree& cache,
+                                   const QueryOptions& options = {},
+                                   AccessCounter* counter = nullptr);
+
+/// CachedRankCS over the arena-flattened tree — the serving hot path
+/// (`storage::ServeQuery` resolves against the snapshot's
+/// `FlatProfileTree`). Identical semantics to the `TreeResolver`
+/// overloads: same candidate sets, same traces, same cache entries.
+StatusOr<QueryResult> CachedRankCS(const db::Relation& relation,
+                                   const ContextualQuery& query,
+                                   const FlatResolver& resolver,
+                                   const std::string& cache_user,
+                                   uint64_t profile_version,
+                                   ContextQueryTree& cache,
+                                   const QueryOptions& options = {},
+                                   AccessCounter* counter = nullptr);
+
+StatusOr<QueryResult> CachedRankCS(const db::Relation& relation,
+                                   const ContextualQuery& query,
+                                   const FlatResolver& resolver,
                                    const Profile& profile,
                                    ContextQueryTree& cache,
                                    const QueryOptions& options = {},

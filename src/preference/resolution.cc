@@ -60,20 +60,29 @@ std::vector<CandidatePath> BestCandidates(
 void TreeResolver::Recurse(const ProfileTree::Node& node, size_t level,
                            const ContextState& query,
                            const ResolutionOptions& options,
-                           double distance_so_far, std::vector<ValueRef>& path,
+                           std::vector<double>& step_by_param,
+                           std::vector<ValueRef>& path,
                            std::vector<CandidatePath>& out,
                            AccessCounter* counter) const {
   const ContextEnvironment& env = tree_->env();
   const size_t n = env.size();
   if (level == n) {
     // `node` is a leaf: emit the candidate (reorder path components
-    // from tree-level order back to environment order).
+    // from tree-level order back to environment order). The distance
+    // is the per-parameter steps summed in *environment* order — the
+    // canonical accumulation order of `StateDistance`. Summing along
+    // the tree path instead would drift from the oracle by a few ulps
+    // whenever the ordering permutes the parameters (FP addition is
+    // not associative), which `NearlyEqual` papers over for the
+    // winning set but not for exact flat-vs-pointer equality.
+    double distance = 0.0;
+    for (const double step : step_by_param) distance += step;
     std::vector<ValueRef> values(n);
     for (size_t l = 0; l < n; ++l) {
       values[tree_->ordering().param_at_level(l)] = path[l];
     }
-    out.push_back(CandidatePath{ContextState(std::move(values)),
-                                distance_so_far, node.entries});
+    out.push_back(
+        CandidatePath{ContextState(std::move(values)), distance, node.entries});
     return;
   }
 
@@ -98,8 +107,9 @@ void TreeResolver::Recurse(const ProfileTree::Node& node, size_t level,
         break;
     }
     path.push_back(cell.key);
-    Recurse(*cell.child, level + 1, query, options, distance_so_far + step,
-            path, out, counter);
+    step_by_param[param] = step;
+    Recurse(*cell.child, level + 1, query, options, step_by_param, path, out,
+            counter);
     path.pop_back();
   }
 }
@@ -113,7 +123,8 @@ std::vector<CandidatePath> TreeResolver::SearchCS(
   std::vector<CandidatePath> out;
   std::vector<ValueRef> path;
   path.reserve(tree_->env().size());
-  Recurse(tree_->root(), 0, query, options, 0.0, path, out, counter);
+  std::vector<double> step_by_param(tree_->env().size(), 0.0);
+  Recurse(tree_->root(), 0, query, options, step_by_param, path, out, counter);
   if (span.active()) {
     span.Tag("candidates", static_cast<uint64_t>(out.size()));
     span.Tag("distance", options.distance == DistanceKind::kJaccard
@@ -162,6 +173,93 @@ std::vector<CandidatePath> TreeResolver::ResolveBest(
     span.Tag("candidates", static_cast<uint64_t>(best.size()));
   }
   return best;
+}
+
+std::vector<CandidatePath> FlatResolver::SearchCS(
+    const ContextState& query, const ResolutionOptions& options,
+    AccessCounter* counter) const {
+  TraceSpan span("resolve.search_cs");
+  std::vector<FlatProfileTree::FlatCandidate> flats;
+  std::vector<uint32_t> paths;
+  tree_->SearchCS(query, options.distance, options.exact_only, counter, flats,
+                  paths);
+  const size_t n = tree_->num_levels();
+  std::vector<CandidatePath> out;
+  out.reserve(flats.size());
+  for (size_t i = 0; i < flats.size(); ++i) {
+    out.push_back(CandidatePath{tree_->StateOf(paths.data() + i * n),
+                                flats[i].distance,
+                                tree_->EntriesOf(flats[i].leaf)});
+  }
+  if (span.active()) {
+    span.Tag("candidates", static_cast<uint64_t>(out.size()));
+    span.Tag("distance", options.distance == DistanceKind::kJaccard
+                             ? "jaccard"
+                             : "hierarchy");
+  }
+  return out;
+}
+
+std::vector<CandidatePath> FlatResolver::ResolveBest(
+    const ContextState& query, const ResolutionOptions& options,
+    AccessCounter* counter) const {
+  ResolveMetrics& metrics = ResolveMetrics::Get();
+  TraceSpan span("resolve");
+  ScopedLatency latency(&metrics.latency);
+  std::vector<FlatProfileTree::FlatCandidate> flats;
+  std::vector<uint32_t> paths;
+  {
+    TraceSpan search("resolve.search_cs");
+    tree_->SearchCS(query, options.distance, options.exact_only, counter,
+                    flats, paths);
+  }
+  const size_t n = tree_->num_levels();
+  // Minimum-distance selection on the compact candidates (same
+  // `NearlyEqual` tie semantics and order preservation as
+  // `BestCandidates`), then the Jaccard tie-break — all before
+  // materialization, so losing candidates never have their state or
+  // entries copied out of the arena.
+  std::vector<size_t> winners;
+  {
+    TraceSpan select("resolve.best_candidates");
+    double best = 0.0;
+    for (size_t i = 0; i < flats.size(); ++i) {
+      if (i == 0 || flats[i].distance < best) best = flats[i].distance;
+    }
+    winners.reserve(flats.size());
+    for (size_t i = 0; i < flats.size(); ++i) {
+      if (NearlyEqual(flats[i].distance, best)) winners.push_back(i);
+    }
+  }
+  if (options.distance == DistanceKind::kJaccard && winners.size() > 1) {
+    TraceSpan tie_break("resolve.tie_break");
+    std::vector<double> dist(winners.size());
+    double best = 0.0;
+    for (size_t w = 0; w < winners.size(); ++w) {
+      dist[w] =
+          tree_->HierarchyDistanceOf(paths.data() + winners[w] * n, query);
+      if (w == 0 || dist[w] < best) best = dist[w];
+    }
+    std::vector<size_t> kept;
+    kept.reserve(winners.size());
+    for (size_t w = 0; w < winners.size(); ++w) {
+      if (NearlyEqual(dist[w], best)) kept.push_back(winners[w]);
+    }
+    winners = std::move(kept);
+  }
+  std::vector<CandidatePath> out;
+  out.reserve(winners.size());
+  for (const size_t i : winners) {
+    out.push_back(CandidatePath{tree_->StateOf(paths.data() + i * n),
+                                flats[i].distance,
+                                tree_->EntriesOf(flats[i].leaf)});
+  }
+  metrics.resolutions.Increment();
+  metrics.candidates.Increment(out.size());
+  if (span.active()) {
+    span.Tag("candidates", static_cast<uint64_t>(out.size()));
+  }
+  return out;
 }
 
 std::vector<ContextState> CoveringStates(const Profile& profile,

@@ -5,6 +5,7 @@
 
 #include "context/distance.h"
 #include "context/state.h"
+#include "preference/flat_profile_tree.h"
 #include "preference/profile.h"
 #include "preference/profile_tree.h"
 #include "util/counters.h"
@@ -83,10 +84,36 @@ class TreeResolver {
  private:
   void Recurse(const ProfileTree::Node& node, size_t level,
                const ContextState& query, const ResolutionOptions& options,
-               double distance_so_far, std::vector<ValueRef>& path,
+               std::vector<double>& step_by_param, std::vector<ValueRef>& path,
                std::vector<CandidatePath>& out, AccessCounter* counter) const;
 
   const ProfileTree* tree_;
+};
+
+/// Resolution over the arena-flattened tree (`FlatProfileTree`) — a
+/// drop-in replacement for `TreeResolver` with identical semantics
+/// (same candidate order, same canonical env-order distances, same
+/// tie-breaking), used by the serving path. Unlike the pointer
+/// resolver it materializes full `CandidatePath`s (state + copied
+/// entries) only for the *winning* candidates of `ResolveBest`;
+/// `SearchCS` still materializes everything, for diagnostics and the
+/// differential tests.
+class FlatResolver {
+ public:
+  explicit FlatResolver(const FlatProfileTree* tree) : tree_(tree) {}
+
+  std::vector<CandidatePath> SearchCS(const ContextState& query,
+                                      const ResolutionOptions& options = {},
+                                      AccessCounter* counter = nullptr) const;
+
+  std::vector<CandidatePath> ResolveBest(const ContextState& query,
+                                         const ResolutionOptions& options = {},
+                                         AccessCounter* counter = nullptr) const;
+
+  const FlatProfileTree& tree() const { return *tree_; }
+
+ private:
+  const FlatProfileTree* tree_;
 };
 
 /// ---- Formal (specification-level) resolution, used by tests ----

@@ -44,11 +44,13 @@ struct ServingMetrics {
 
 ProfileSnapshot::ProfileSnapshot(std::string user_id, uint64_t serving_version,
                                  std::shared_ptr<const Profile> profile,
-                                 std::shared_ptr<const ProfileTree> tree)
+                                 std::shared_ptr<const ProfileTree> tree,
+                                 std::shared_ptr<const FlatProfileTree> flat)
     : user_id_(std::move(user_id)),
       serving_version_(serving_version),
       profile_(std::move(profile)),
       tree_(std::move(tree)),
+      flat_(std::move(flat)),
       publish_nanos_(MonotonicNanos()) {
   ServingMetrics::Get().live_snapshots.Add(1);
 }
@@ -111,12 +113,18 @@ Status ProfileStore::BuildAndPublish(User& user, const std::string& user_id,
   // snapshot through any build failure.
   StatusOr<ProfileTree> tree = ProfileTree::Build(profile);
   if (!tree.ok()) return tree.status();
+  auto tree_ptr = std::make_shared<const ProfileTree>(std::move(*tree));
+  // Flatten into the read-optimized arena while still off to the side
+  // — publish cost, not query cost. The pointer tree stays in the
+  // snapshot as the mutation-friendly reference form.
+  auto flat = std::make_shared<const FlatProfileTree>(
+      FlatProfileTree::Build(*tree_ptr));
   const uint64_t version =
       version_counter_.fetch_add(1, std::memory_order_acq_rel) + 1;
   auto snapshot = std::make_shared<const ProfileSnapshot>(
       user_id, version,
       std::make_shared<const Profile>(std::move(profile)),
-      std::make_shared<const ProfileTree>(std::move(*tree)));
+      std::move(tree_ptr), std::move(flat));
   SnapshotPtr old = user.Swap(std::move(snapshot));
   ServingMetrics& metrics = ServingMetrics::Get();
   metrics.swaps.Increment();

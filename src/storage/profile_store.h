@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "preference/flat_profile_tree.h"
 #include "preference/profile.h"
 #include "preference/profile_tree.h"
 #include "preference/query_cache.h"
@@ -34,7 +35,8 @@ class ProfileSnapshot {
  public:
   ProfileSnapshot(std::string user_id, uint64_t serving_version,
                   std::shared_ptr<const Profile> profile,
-                  std::shared_ptr<const ProfileTree> tree);
+                  std::shared_ptr<const ProfileTree> tree,
+                  std::shared_ptr<const FlatProfileTree> flat = nullptr);
   ~ProfileSnapshot();
 
   ProfileSnapshot(const ProfileSnapshot&) = delete;
@@ -50,6 +52,16 @@ class ProfileSnapshot {
     return profile_;
   }
   const std::shared_ptr<const ProfileTree>& tree_ptr() const { return tree_; }
+  /// The arena-flattened read-optimized form of `tree()`, built once at
+  /// publish time; the serving layer resolves against it (see
+  /// docs/serving.md). Null only for snapshots constructed manually
+  /// without one — `ProfileStore` always publishes with the arena.
+  /// Immutable after publish like everything else in the snapshot, so
+  /// readers need no lock (and it introduces no lock rank).
+  const FlatProfileTree* flat_tree() const { return flat_.get(); }
+  const std::shared_ptr<const FlatProfileTree>& flat_tree_ptr() const {
+    return flat_;
+  }
   /// `MonotonicNanos()` at construction (= publish time); the basis of
   /// the snapshot-age gauge.
   uint64_t publish_nanos() const { return publish_nanos_; }
@@ -59,6 +71,7 @@ class ProfileSnapshot {
   uint64_t serving_version_;
   std::shared_ptr<const Profile> profile_;
   std::shared_ptr<const ProfileTree> tree_;
+  std::shared_ptr<const FlatProfileTree> flat_;
   uint64_t publish_nanos_;
 };
 

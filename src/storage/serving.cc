@@ -32,12 +32,26 @@ StatusOr<QueryResult> ServeQuery(const ProfileSnapshot& snapshot,
                                  ContextQueryTree* cache,
                                  const QueryOptions& options,
                                  AccessCounter* counter) {
+  // Resolve against the snapshot's arena-flattened tree when it has
+  // one (ProfileStore always publishes with it); the pointer tree is
+  // the fallback for manually-built snapshots. Both produce identical
+  // results — the differential tests pin that down — so this is purely
+  // a hot-path choice.
+  if (const FlatProfileTree* flat = snapshot.flat_tree()) {
+    FlatResolver resolver(flat);
+    if (cache != nullptr) {
+      // Tag entries with the snapshot's own identity, never
+      // options.cache_user / Profile::version(): the serving version is
+      // unique across swaps, so a stale entry can never be mistaken for
+      // a current one.
+      return CachedRankCS(relation, query, resolver, snapshot.user_id(),
+                          snapshot.serving_version(), *cache, options,
+                          counter);
+    }
+    return RankCS(relation, query, resolver, options, counter);
+  }
   TreeResolver resolver(&snapshot.tree());
   if (cache != nullptr) {
-    // Tag entries with the snapshot's own identity, never
-    // options.cache_user / Profile::version(): the serving version is
-    // unique across swaps, so a stale entry can never be mistaken for
-    // a current one.
     return CachedRankCS(relation, query, resolver, snapshot.user_id(),
                         snapshot.serving_version(), *cache, options, counter);
   }

@@ -1,0 +1,229 @@
+// Arena build edge cases (ISSUE 7 satellite): the flat tree must agree
+// with the pointer tree on the degenerate shapes the fuzzers rarely
+// draw — an empty profile, a single-state profile, a chain hierarchy
+// whose ancestor extents equal their children's (the DESIGN.md
+// Property-3 erratum, where every Jaccard distance along the chain
+// ties), and ref-counted duplicate leaf entries across removal and
+// rebuild.
+
+#include "preference/flat_profile_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "context/environment.h"
+#include "context/hierarchy.h"
+#include "db/value.h"
+#include "preference/ordering.h"
+#include "preference/profile_tree.h"
+#include "preference/resolution.h"
+#include "tests/test_util.h"
+
+namespace ctxpref {
+namespace {
+
+EnvironmentPtr TwoFlatEnv() {
+  StatusOr<HierarchyPtr> mood =
+      MakeFlatHierarchy("mood", "Mood", {"happy", "sad"});
+  EXPECT_TRUE(mood.ok());
+  StatusOr<HierarchyPtr> day = MakeFlatHierarchy("day", "Day", {"work", "off"});
+  EXPECT_TRUE(day.ok());
+  std::vector<ContextParameter> params;
+  params.emplace_back("mood", *mood);
+  params.emplace_back("day", *day);
+  StatusOr<EnvironmentPtr> env = ContextEnvironment::Create(std::move(params));
+  EXPECT_TRUE(env.ok());
+  return *env;
+}
+
+/// A chain hierarchy with one value per level: City {athens} under
+/// Country {greece} under ALL. Every ancestor's detailed extent is
+/// {athens}, so all Jaccard distances along the chain are 0 — the
+/// Property-3 degenerate case.
+EnvironmentPtr ChainEnv() {
+  HierarchyBuilder pb("place");
+  pb.AddDetailedLevel("City", {"athens"});
+  pb.AddLevel("Country", {{"greece", {"athens"}}});
+  StatusOr<HierarchyPtr> place = pb.Build();
+  EXPECT_TRUE(place.ok());
+  StatusOr<HierarchyPtr> mood =
+      MakeFlatHierarchy("mood", "Mood", {"happy", "sad"});
+  EXPECT_TRUE(mood.ok());
+  std::vector<ContextParameter> params;
+  params.emplace_back("place", *place);
+  params.emplace_back("mood", *mood);
+  StatusOr<EnvironmentPtr> env = ContextEnvironment::Create(std::move(params));
+  EXPECT_TRUE(env.ok());
+  return *env;
+}
+
+AttributeClause Clause(const std::string& value) {
+  return AttributeClause{"attr", db::CompareOp::kEq, db::Value(value)};
+}
+
+void ExpectParity(const ProfileTree& tree, const FlatProfileTree& flat,
+                  const ContextState& query, DistanceKind kind) {
+  TreeResolver pointer_resolver(&tree);
+  FlatResolver flat_resolver(&flat);
+  ResolutionOptions ropts;
+  ropts.distance = kind;
+  for (const bool exact_only : {false, true}) {
+    ropts.exact_only = exact_only;
+    const std::vector<CandidatePath> pointer =
+        pointer_resolver.ResolveBest(query, ropts);
+    const std::vector<CandidatePath> via_flat =
+        flat_resolver.ResolveBest(query, ropts);
+    ASSERT_EQ(pointer.size(), via_flat.size());
+    for (size_t i = 0; i < pointer.size(); ++i) {
+      EXPECT_TRUE(pointer[i].state == via_flat[i].state);
+      EXPECT_EQ(pointer[i].distance, via_flat[i].distance);
+      ASSERT_EQ(pointer[i].entries.size(), via_flat[i].entries.size());
+      for (size_t j = 0; j < pointer[i].entries.size(); ++j) {
+        EXPECT_TRUE(pointer[i].entries[j].clause ==
+                    via_flat[i].entries[j].clause);
+        EXPECT_EQ(pointer[i].entries[j].score, via_flat[i].entries[j].score);
+        EXPECT_EQ(pointer[i].entries[j].ref, via_flat[i].entries[j].ref);
+      }
+    }
+  }
+}
+
+TEST(FlatProfileTreeTest, EmptyProfileBuildsEmptyArena) {
+  EnvironmentPtr env = TwoFlatEnv();
+  ProfileTree tree(env, Ordering::Identity(env->size()));
+  const FlatProfileTree flat = FlatProfileTree::Build(tree);
+
+  EXPECT_EQ(flat.PathCount(), 0u);
+  EXPECT_EQ(flat.CellCount(), 0u);
+  EXPECT_EQ(flat.NodeCount(), tree.NodeCount());
+  EXPECT_EQ(flat.LeafEntryCount(), 0u);
+  EXPECT_EQ(flat.num_clauses(), 0u);
+  EXPECT_GT(flat.MeasuredByteSize(), 0u);
+
+  const ContextState q({ValueRef{0, 0}, ValueRef{0, 1}});
+  EXPECT_EQ(flat.ExactLookup(q), FlatProfileTree::kNoLeaf);
+  FlatResolver resolver(&flat);
+  EXPECT_TRUE(resolver.SearchCS(q).empty());
+  EXPECT_TRUE(resolver.ResolveBest(q).empty());
+  for (DistanceKind kind :
+       {DistanceKind::kHierarchy, DistanceKind::kJaccard}) {
+    ExpectParity(tree, flat, q, kind);
+  }
+}
+
+TEST(FlatProfileTreeTest, SingleStateProfileRoundTrips) {
+  EnvironmentPtr env = TwoFlatEnv();
+  ProfileTree tree(env, Ordering::Identity(env->size()));
+  const ContextState s({ValueRef{0, 0}, ValueRef{0, 1}});  // (happy, off)
+  ASSERT_OK(tree.InsertState(s, Clause("v1"), 0.75));
+  const FlatProfileTree flat = FlatProfileTree::Build(tree);
+
+  EXPECT_EQ(flat.PathCount(), 1u);
+  EXPECT_EQ(flat.CellCount(), tree.CellCount());
+  EXPECT_EQ(flat.NodeCount(), tree.NodeCount());
+  EXPECT_EQ(flat.LeafEntryCount(), 1u);
+  EXPECT_EQ(flat.num_clauses(), 1u);
+
+  const uint32_t leaf = flat.ExactLookup(s);
+  ASSERT_NE(leaf, FlatProfileTree::kNoLeaf);
+  const std::vector<ProfileTree::LeafEntry> entries = flat.EntriesOf(leaf);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_TRUE(entries[0].clause == Clause("v1"));
+  EXPECT_EQ(entries[0].score, 0.75);
+  EXPECT_EQ(entries[0].ref, 1u);
+
+  // The exact query resolves to the stored state at distance 0; a
+  // different detailed state resolves to nothing (flat hierarchies
+  // only share the ALL ancestor, which is not stored).
+  FlatResolver resolver(&flat);
+  const std::vector<CandidatePath> best = resolver.ResolveBest(s);
+  ASSERT_EQ(best.size(), 1u);
+  EXPECT_TRUE(best[0].state == s);
+  EXPECT_EQ(best[0].distance, 0.0);
+  for (DistanceKind kind :
+       {DistanceKind::kHierarchy, DistanceKind::kJaccard}) {
+    ExpectParity(tree, flat, s, kind);
+    ExpectParity(tree, flat, ContextState({ValueRef{0, 1}, ValueRef{0, 0}}),
+                 kind);
+  }
+}
+
+TEST(FlatProfileTreeTest, DegenerateChainHierarchyJaccardTieBreak) {
+  EnvironmentPtr env = ChainEnv();
+  ProfileTree tree(env, Ordering::Identity(env->size()));
+  const ValueRef athens{0, 0};
+  const ValueRef greece{1, 0};
+  const ValueRef all_place{2, 0};
+  const ValueRef happy{0, 0};
+  ASSERT_OK(tree.InsertState(ContextState({athens, happy}), Clause("exact"),
+                             0.5));
+  ASSERT_OK(tree.InsertState(ContextState({greece, happy}), Clause("country"),
+                             0.6));
+  ASSERT_OK(tree.InsertState(ContextState({all_place, happy}), Clause("all"),
+                             0.7));
+  const FlatProfileTree flat = FlatProfileTree::Build(tree);
+
+  // Jaccard: all three stored states are at distance 0 from the
+  // detailed query (equal extents along the chain — the Property-3
+  // erratum), so the hierarchy-distance tie-break must pick the exact
+  // state alone. Flat and pointer must agree on all of it.
+  const ContextState q({athens, happy});
+  FlatResolver resolver(&flat);
+  ResolutionOptions jaccard;
+  jaccard.distance = DistanceKind::kJaccard;
+  ASSERT_EQ(resolver.SearchCS(q, jaccard).size(), 3u);
+  const std::vector<CandidatePath> best = resolver.ResolveBest(q, jaccard);
+  ASSERT_EQ(best.size(), 1u);
+  EXPECT_TRUE(best[0].state == q);
+  ASSERT_EQ(best[0].entries.size(), 1u);
+  EXPECT_TRUE(best[0].entries[0].clause == Clause("exact"));
+  for (DistanceKind kind :
+       {DistanceKind::kHierarchy, DistanceKind::kJaccard}) {
+    ExpectParity(tree, flat, q, kind);
+    ExpectParity(tree, flat, ContextState({greece, happy}), kind);
+    ExpectParity(tree, flat, ContextState({all_place, ValueRef{1, 0}}), kind);
+  }
+}
+
+TEST(FlatProfileTreeTest, DuplicateRefCountedEntrySurvivesRemovalAndRebuild) {
+  EnvironmentPtr env = TwoFlatEnv();
+  ProfileTree tree(env, Ordering::Identity(env->size()));
+  const ContextState s({ValueRef{0, 1}, ValueRef{0, 0}});  // (sad, work)
+  // Two identical insertions dedup into one ref-counted entry.
+  ASSERT_OK(tree.InsertState(s, Clause("v2"), 0.4));
+  ASSERT_OK(tree.InsertState(s, Clause("v2"), 0.4));
+  {
+    const FlatProfileTree flat = FlatProfileTree::Build(tree);
+    EXPECT_EQ(flat.LeafEntryCount(), 1u);
+    const uint32_t leaf = flat.ExactLookup(s);
+    ASSERT_NE(leaf, FlatProfileTree::kNoLeaf);
+    ASSERT_EQ(flat.EntriesOf(leaf).size(), 1u);
+    EXPECT_EQ(flat.EntriesOf(leaf)[0].ref, 2u);
+  }
+  // One removal only decrements the refcount: the entry must survive
+  // the rebuild.
+  ASSERT_OK(tree.RemoveState(s, Clause("v2"), 0.4));
+  {
+    const FlatProfileTree flat = FlatProfileTree::Build(tree);
+    EXPECT_EQ(flat.PathCount(), 1u);
+    const uint32_t leaf = flat.ExactLookup(s);
+    ASSERT_NE(leaf, FlatProfileTree::kNoLeaf);
+    ASSERT_EQ(flat.EntriesOf(leaf).size(), 1u);
+    EXPECT_EQ(flat.EntriesOf(leaf)[0].ref, 1u);
+    ExpectParity(tree, flat, s, DistanceKind::kHierarchy);
+  }
+  // The second removal erases the entry and prunes the path.
+  ASSERT_OK(tree.RemoveState(s, Clause("v2"), 0.4));
+  {
+    const FlatProfileTree flat = FlatProfileTree::Build(tree);
+    EXPECT_EQ(flat.PathCount(), 0u);
+    EXPECT_EQ(flat.LeafEntryCount(), 0u);
+    EXPECT_EQ(flat.ExactLookup(s), FlatProfileTree::kNoLeaf);
+    ExpectParity(tree, flat, s, DistanceKind::kHierarchy);
+  }
+}
+
+}  // namespace
+}  // namespace ctxpref

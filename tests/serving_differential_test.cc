@@ -13,12 +13,14 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "context/descriptor.h"
 #include "db/relation.h"
 #include "db/schema.h"
+#include "preference/flat_profile_tree.h"
 #include "preference/profile_tree.h"
 #include "preference/query_cache.h"
 #include "preference/resolution.h"
@@ -287,6 +289,174 @@ TEST_P(ServingDifferentialTest, CachedEqualsUncachedAcrossProfileSwaps) {
     }
     // …then a swap to a fresh random profile.
     ASSERT_OK(store.PublishProfile("u", RandomProfile(rng, env, world)));
+  }
+}
+
+// ---- Flat-vs-pointer differential (ISSUE 7) ------------------------
+//
+// The arena-flattened tree is a pure layout change, so it must be
+// *bit-identical* to the pointer tree: the same Search_CS candidate
+// list (same order, same exact double distances, same entries) and the
+// same ResolveBest winners, for every query state, both distance
+// kinds, exact and non-exact resolution. Bit-exact distance equality
+// (not NearlyEqual) is deliberate — it flushes accumulation-order
+// drift, the class of bug where both sides are "correct" in isolation
+// but disagree on which candidates tie.
+
+void ExpectSameCandidates(const ContextEnvironment& env,
+                          const std::vector<CandidatePath>& pointer,
+                          const std::vector<CandidatePath>& flat,
+                          const std::string& label) {
+  ASSERT_EQ(pointer.size(), flat.size()) << label;
+  for (size_t i = 0; i < pointer.size(); ++i) {
+    EXPECT_TRUE(pointer[i].state == flat[i].state)
+        << label << " candidate " << i << ": "
+        << pointer[i].state.ToString(env) << " vs "
+        << flat[i].state.ToString(env);
+    EXPECT_EQ(pointer[i].distance, flat[i].distance)
+        << label << " candidate " << i << " ("
+        << pointer[i].state.ToString(env) << "): distances not bit-equal";
+    ASSERT_EQ(pointer[i].entries.size(), flat[i].entries.size())
+        << label << " candidate " << i;
+    for (size_t j = 0; j < pointer[i].entries.size(); ++j) {
+      EXPECT_TRUE(pointer[i].entries[j].clause == flat[i].entries[j].clause)
+          << label << " candidate " << i << " entry " << j;
+      EXPECT_EQ(pointer[i].entries[j].score, flat[i].entries[j].score)
+          << label << " candidate " << i << " entry " << j;
+      EXPECT_EQ(pointer[i].entries[j].ref, flat[i].entries[j].ref)
+          << label << " candidate " << i << " entry " << j;
+    }
+  }
+}
+
+TEST_P(ServingDifferentialTest, FlatTreeMatchesPointerTreeExhaustively) {
+  EnvironmentPtr env = TinyEnv();
+  const std::vector<ContextState> world = AllExtendedStates(*env);
+  Rng rng(GetParam() + 17);
+  Profile profile = RandomProfile(rng, env, world);
+  if (profile.empty()) GTEST_SKIP() << "empty draw";
+
+  StatusOr<ProfileTree> tree = ProfileTree::Build(profile);
+  ASSERT_OK(tree.status());
+  const FlatProfileTree flat = FlatProfileTree::Build(*tree);
+  TreeResolver pointer_resolver(&*tree);
+  FlatResolver flat_resolver(&flat);
+  const db::Relation relation = MakeRelation();
+  const db::ColumnarProjection columns(relation);
+
+  for (DistanceKind kind :
+       {DistanceKind::kHierarchy, DistanceKind::kJaccard}) {
+    for (bool exact_only : {false, true}) {
+      ResolutionOptions ropts;
+      ropts.distance = kind;
+      ropts.exact_only = exact_only;
+      for (const ContextState& q : world) {
+        std::string label = q.ToString(*env);
+        label += exact_only ? " exact " : " cover ";
+        label += DistanceKindToString(kind);
+        ExpectSameCandidates(*env, pointer_resolver.SearchCS(q, ropts),
+                             flat_resolver.SearchCS(q, ropts),
+                             label + " search");
+        ExpectSameCandidates(*env, pointer_resolver.ResolveBest(q, ropts),
+                             flat_resolver.ResolveBest(q, ropts),
+                             label + " best");
+        EXPECT_EQ(flat.ExactLookup(q) != FlatProfileTree::kNoLeaf,
+                  !pointer_resolver.SearchCS(
+                                       q, {.distance = kind,
+                                           .exact_only = true})
+                       .empty())
+            << label << " exact-lookup presence";
+      }
+    }
+    // Full Rank_CS, pointer/row-store vs flat/columnar: layout *and*
+    // scan path both swapped, answers still identical.
+    QueryOptions options;
+    options.resolution.distance = kind;
+    QueryOptions flat_options = options;
+    flat_options.columns = &columns;
+    for (const ContextState& q : world) {
+      StatusOr<CompositeDescriptor> cod =
+          CompositeDescriptor::ForState(*env, q);
+      ASSERT_OK(cod.status());
+      ContextualQuery query;
+      query.context = ExtendedDescriptor::FromComposite(std::move(*cod));
+      StatusOr<QueryResult> via_pointer =
+          RankCS(relation, query, pointer_resolver, options);
+      StatusOr<QueryResult> via_flat =
+          RankCS(relation, query, flat_resolver, flat_options);
+      ASSERT_OK(via_pointer.status());
+      ASSERT_OK(via_flat.status());
+      EXPECT_EQ(via_pointer->tuples, via_flat->tuples)
+          << q.ToString(*env) << " kind " << DistanceKindToString(kind);
+      ASSERT_EQ(via_pointer->traces.size(), via_flat->traces.size());
+      for (size_t i = 0; i < via_pointer->traces.size(); ++i) {
+        ExpectSameCandidates(*env, via_pointer->traces[i].candidates,
+                             via_flat->traces[i].candidates,
+                             q.ToString(*env) + " trace");
+      }
+    }
+  }
+}
+
+TEST_P(ServingDifferentialTest, FlatTreeMatchesPointerTreeOnPaperEnv) {
+  // The paper's three-parameter environment: deeper hierarchies, so
+  // descent covers more levels and interning covers bigger domains
+  // than TinyEnv exercises.
+  EnvironmentPtr env = ctxpref::testing::PaperEnv();
+  Rng rng(GetParam() + 31);
+  auto random_state = [&rng, &env]() {
+    std::vector<ValueRef> values;
+    for (size_t p = 0; p < env->size(); ++p) {
+      const Hierarchy& h = env->parameter(p).hierarchy();
+      const auto level = static_cast<LevelIndex>(rng.Uniform(h.num_levels()));
+      values.push_back(ValueRef{
+          level, static_cast<ValueId>(rng.Uniform(h.level_size(level)))});
+    }
+    return ContextState(std::move(values));
+  };
+
+  Profile profile(env);
+  std::set<std::string> seen;
+  for (int i = 0; i < 48; ++i) {
+    ContextState s = random_state();
+    if (!seen.insert(s.ToString(*env)).second) continue;
+    StatusOr<CompositeDescriptor> cod = CompositeDescriptor::ForState(*env, s);
+    ASSERT_OK(cod.status());
+    StatusOr<ContextualPreference> pref = ContextualPreference::Create(
+        std::move(*cod),
+        AttributeClause{"attr", db::CompareOp::kEq,
+                        db::Value(ValueName(rng.Uniform(kAttrPool)))},
+        static_cast<double>(rng.Uniform(21)) * 0.05);
+    ASSERT_OK(pref.status());
+    ASSERT_OK(profile.Insert(std::move(*pref)));
+  }
+  ASSERT_FALSE(profile.empty());
+
+  StatusOr<ProfileTree> tree = ProfileTree::Build(profile);
+  ASSERT_OK(tree.status());
+  const FlatProfileTree flat = FlatProfileTree::Build(*tree);
+  TreeResolver pointer_resolver(&*tree);
+  FlatResolver flat_resolver(&flat);
+
+  for (DistanceKind kind :
+       {DistanceKind::kHierarchy, DistanceKind::kJaccard}) {
+    for (bool exact_only : {false, true}) {
+      ResolutionOptions ropts;
+      ropts.distance = kind;
+      ropts.exact_only = exact_only;
+      for (int trial = 0; trial < 200; ++trial) {
+        const ContextState q = random_state();
+        std::string label = q.ToString(*env);
+        label += exact_only ? " exact " : " cover ";
+        label += DistanceKindToString(kind);
+        ExpectSameCandidates(*env, pointer_resolver.SearchCS(q, ropts),
+                             flat_resolver.SearchCS(q, ropts),
+                             label + " search");
+        ExpectSameCandidates(*env, pointer_resolver.ResolveBest(q, ropts),
+                             flat_resolver.ResolveBest(q, ropts),
+                             label + " best");
+      }
+    }
   }
 }
 

@@ -108,7 +108,7 @@ if [[ "${RUN_TSAN}" == 1 ]]; then
   # above turns an empty match back into a failure instead of a silent
   # pass.
   configure_and_test build-tsan "thread" "concurrency tests under TSan" \
-    -R "ResilientSource|QueryCacheConcurrent|ThreadPool|Observability|Serving"
+    -R "ResilientSource|QueryCacheConcurrent|ThreadPool|Observability|Serving|Overload"
 fi
 
 if [[ "${RUN_TSA}" == 1 ]]; then
@@ -149,7 +149,8 @@ if [[ "${RUN_BENCH}" == 1 ]]; then
   cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release \
     ${CTXPREF_CMAKE_ARGS:-} > /dev/null
   bench_build_status=0
-  cmake --build build-bench -j "${JOBS}" --target bench_resolution \
+  cmake --build build-bench -j "${JOBS}" \
+    --target bench_resolution --target bench_overload \
     -- --no-print-directory > build-bench/check-build.log 2>&1 \
     || bench_build_status=$?
   grep -E "error|warning" build-bench/check-build.log || true
@@ -166,6 +167,28 @@ if [[ "${RUN_BENCH}" == 1 ]]; then
     --min-ratio 5 --pair-filter '/5000$'
   python3 scripts/compare_bench.py BENCH_resolution_baseline.json \
     build-bench/bench_resolution.json
+
+  echo "==== bench gate (overload goodput, shed vs noshed) ===="
+  # The binary's own bars (torn == 0, shed retains >= 80% of peak
+  # goodput at 2x) fail via its exit code; bars self-skip on one
+  # hardware thread but the torn check always applies.
+  ./build-bench/bench/bench_overload \
+    --json_out=build-bench/bench_overload.json
+  if [[ "$(nproc 2>/dev/null || echo 1)" -gt 1 ]]; then
+    # Goodput ratio at 2x saturation: the protected configuration must
+    # beat the unprotected one, which collapses past saturation. Same-
+    # run ratio, so robust to slow shared runners.
+    python3 scripts/compare_bench.py \
+      --speedup build-bench/bench_overload.json \
+      --base-prefix BM_OverloadGoodput_NoShed \
+      --target-prefix BM_OverloadGoodput_Shed \
+      --min-ratio 1.5 --pair-filter '/2x$'
+  else
+    echo "SKIP: shed/noshed goodput gate needs >1 hardware thread" \
+         "(producer and workers time-slice one CPU)"
+  fi
+  python3 scripts/compare_bench.py BENCH_overload_baseline.json \
+    build-bench/bench_overload.json
 fi
 
 if [[ "${RUN_TIDY}" == 1 ]]; then

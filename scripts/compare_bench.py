@@ -74,19 +74,25 @@ def diff(baseline_path, current_path, gate_pattern):
         print(f"{name:<{width}} {b:>10.0f}ns {c:>10.0f}ns {delta:>+7.1%}{flag}")
         if delta > THRESHOLD:
             if gate is not None and gate.search(name):
-                gated.append((name, delta))
+                gated.append((name, delta, b, c))
             else:
-                advisory.append((name, delta))
+                advisory.append((name, delta, b, c))
 
-    for name, delta in advisory:
+    for name, delta, b, c in advisory:
         print(
             f"::warning::bench regression (advisory): {name} is {delta:+.1%} "
             f"vs committed baseline (threshold {THRESHOLD:.0%})"
         )
-    for name, delta in gated:
+    # Failure lines carry the raw numbers: a red CI job must be
+    # debuggable from its annotations alone, without re-running the
+    # bench to learn what the two sides actually measured.
+    for name, delta, b, c in gated:
         print(
             f"::error::bench regression (gated by /{gate_pattern}/): {name} "
-            f"is {delta:+.1%} vs committed baseline (threshold {THRESHOLD:.0%})"
+            f"is {delta:+.1%} vs committed baseline "
+            f"(baseline {b:.0f}ns -> current {c:.0f}ns, ratio "
+            f"{c / b if b > 0 else float('inf'):.2f}x, "
+            f"threshold {THRESHOLD:.0%})"
         )
     only_base = sorted(set(base) - set(curr))
     only_curr = sorted(set(curr) - set(base))
@@ -132,7 +138,7 @@ def speedup(current_path, base_prefix, target_prefix, min_ratio, pair_filter):
                 "OK" if ratio >= min_ratio else "FAIL"
             )
             if ratio < min_ratio:
-                failures.append((suffix, ratio))
+                failures.append((suffix, ratio, b, t))
         print(f"{suffix:>8} {b:>10.0f}ns {t:>10.0f}ns {ratio:>8.2f}x  {verdict}")
 
     if not gated_any:
@@ -141,11 +147,11 @@ def speedup(current_path, base_prefix, target_prefix, min_ratio, pair_filter):
             f"no pair suffixes ({', '.join(suffixes)})"
         )
         return 1
-    for suffix, ratio in failures:
+    for suffix, ratio, b, t in failures:
         print(
             f"::error::speedup gate: {target_prefix}{suffix} is only "
             f"{ratio:.2f}x faster than {base_prefix}{suffix} "
-            f"(required {min_ratio:g}x)"
+            f"(base {b:.0f}ns vs target {t:.0f}ns, required {min_ratio:g}x)"
         )
     return 1 if failures else 0
 

@@ -23,6 +23,13 @@ Checks (docs/static_analysis.md has the conventions these enforce):
               util/mutex.h or util/annotations.h directly (not rely on
               transitive includes).
 
+  lock-rank   Every `LockRank::k...` mentioned anywhere must name a
+              rank declared in the `util::LockRank` enum
+              (src/util/mutex.h), and every declared rank except
+              kUnranked must appear in the lock table in
+              docs/static_analysis.md — the enum is the single source
+              of truth and the doc must not drift from it.
+
 Suppress a single line with  // lint:allow(<check>)  and a short reason.
 Exit status: 0 clean, 1 findings, 2 usage error.
 """
@@ -60,6 +67,24 @@ MEMBER_EXEMPT_TYPES = re.compile(
     r"std::condition_variable)")
 
 ALLOW = re.compile(r"//\s*lint:allow\((?P<check>[\w-]+)\)")
+
+LOCK_RANK_ENUM = "src/util/mutex.h"
+LOCK_RANK_DOC = "docs/static_analysis.md"
+LOCK_RANK_USE = re.compile(r"\bLockRank::(k\w+)")
+
+
+def declared_lock_ranks():
+    """Names declared in the util::LockRank enum, or None if unreadable."""
+    try:
+        with open(LOCK_RANK_ENUM, encoding="utf-8") as f:
+            text = f.read()
+    except OSError:
+        return None
+    m = re.search(r"enum class LockRank[^{]*\{(?P<body>.*?)\}", text,
+                  re.DOTALL)
+    if not m:
+        return None
+    return set(re.findall(r"^\s*(k\w+)\s*=", m.group("body"), re.MULTILINE))
 
 
 def allowed(line, check):
@@ -168,13 +193,46 @@ def check_annotation_include(path, lines, findings):
                      'including "util/mutex.h" or "util/annotations.h"')
 
 
-def lint_file(path, findings):
+def check_lock_rank_uses(path, lines, ranks, findings):
+    if ranks is None or path.endswith(os.path.normpath(LOCK_RANK_ENUM)):
+        return
+    for i, line in enumerate(lines, 1):
+        code = strip_comments(line)
+        if allowed(line, "lock-rank"):
+            continue
+        for name in LOCK_RANK_USE.findall(code):
+            if name not in ranks:
+                findings.add(path, i, "lock-rank",
+                             f"LockRank::{name} is not declared in the "
+                             f"util::LockRank enum ({LOCK_RANK_ENUM})")
+
+
+def check_lock_rank_doc(ranks, findings):
+    """The docs/static_analysis.md lock table must list every rank."""
+    if ranks is None:
+        return
+    try:
+        with open(LOCK_RANK_DOC, encoding="utf-8") as f:
+            doc = f.read()
+    except OSError:
+        findings.add(LOCK_RANK_DOC, 1, "lock-rank",
+                     "cannot read the lock-hierarchy doc")
+        return
+    for name in sorted(ranks - {"kUnranked"}):
+        if not re.search(rf"`{name}`", doc):
+            findings.add(LOCK_RANK_DOC, 1, "lock-rank",
+                         f"rank {name} (declared in {LOCK_RANK_ENUM}) is "
+                         "missing from the lock-hierarchy table")
+
+
+def lint_file(path, ranks, findings):
     with open(path, encoding="utf-8", errors="replace") as f:
         lines = f.read().splitlines()
     check_raw_sync(path, lines, findings)
     check_unguarded(path, lines, findings)
     check_guard_name(path, lines, findings)
     check_annotation_include(path, lines, findings)
+    check_lock_rank_uses(path, lines, ranks, findings)
 
 
 def main():
@@ -198,8 +256,13 @@ def main():
             return 2
 
     findings = Findings()
+    ranks = declared_lock_ranks()
+    if ranks is None:
+        print(f"lint.py: warning: cannot parse {LOCK_RANK_ENUM}; "
+              "lock-rank checks skipped", file=sys.stderr)
     for path in files:
-        lint_file(os.path.normpath(path), findings)
+        lint_file(os.path.normpath(path), ranks, findings)
+    check_lock_rank_doc(ranks, findings)
 
     for path, lineno, check, message in findings.items:
         print(f"{path}:{lineno}: [{check}] {message}")

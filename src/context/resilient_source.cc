@@ -24,23 +24,6 @@ LatencyHistogram& ReadLatency() {
 
 }  // namespace
 
-int64_t SystemClock::NowMicros() const {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-void SystemClock::SleepMicros(int64_t micros) {
-  if (micros > 0) {
-    std::this_thread::sleep_for(std::chrono::microseconds(micros));
-  }
-}
-
-SystemClock* SystemClock::Instance() {
-  static SystemClock* clock = new SystemClock();
-  return clock;
-}
-
 const char* BreakerStateToString(BreakerState s) {
   switch (s) {
     case BreakerState::kClosed:

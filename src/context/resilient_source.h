@@ -1,13 +1,13 @@
 #ifndef CTXPREF_CONTEXT_RESILIENT_SOURCE_H_
 #define CTXPREF_CONTEXT_RESILIENT_SOURCE_H_
 
-#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <optional>
 
 #include "context/source.h"
+#include "util/clock.h"
 #include "util/mutex.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -25,43 +25,12 @@ namespace ctxpref {
 /// degradation ladder fresh → retried → stale → stale-lifted-k →
 /// `all` — so query serving keeps answering, just more coarsely.
 
-/// Monotonic microsecond clock, injectable so retries, cooldowns and
-/// staleness are deterministic under test (`FakeClock`).
-class Clock {
- public:
-  virtual ~Clock() = default;
-  virtual int64_t NowMicros() const = 0;
-  virtual void SleepMicros(int64_t micros) = 0;
-};
-
-/// `std::chrono::steady_clock`-backed wall clock.
-class SystemClock : public Clock {
- public:
-  int64_t NowMicros() const override;
-  void SleepMicros(int64_t micros) override;
-
-  /// Shared process-wide instance (never deleted).
-  static SystemClock* Instance();
-};
-
-/// Manually-advanced clock for tests and deterministic benches.
-/// `SleepMicros` advances time instead of blocking, so scripted
-/// backoff schedules run instantly. Thread-safe.
-class FakeClock : public Clock {
- public:
-  explicit FakeClock(int64_t start_micros = 0) : now_(start_micros) {}
-
-  int64_t NowMicros() const override {
-    return now_.load(std::memory_order_relaxed);
-  }
-  void SleepMicros(int64_t micros) override { Advance(micros); }
-  void Advance(int64_t micros) {
-    now_.fetch_add(micros, std::memory_order_relaxed);
-  }
-
- private:
-  std::atomic<int64_t> now_;
-};
+/// The clock family moved to `src/util/clock.h` (PR 8) so that the
+/// deadline plumbing in util/storage can reuse it without a layering
+/// cycle. These aliases keep the PR-3 spellings working.
+using Clock = util::Clock;
+using SystemClock = util::SystemClock;
+using FakeClock = util::FakeClock;
 
 /// Per-source resilience policy. Defaults are tuned for an interactive
 /// sensor (tens of milliseconds budget); see docs/robustness.md.

@@ -18,6 +18,10 @@ RankMetrics& RankMetrics::Get() {
                      "Query context states evaluated across Rank_CS runs"),
       reg.GetCounter("ctxpref_rank_cs_tuples_scored_total",
                      "Tuples scored (ranker additions) across Rank_CS runs"),
+      reg.GetCounter("ctxpref_rank_cs_deadline_exceeded_total",
+                     "Rank_CS evaluations aborted at a cancellation point"),
+      reg.GetCounter("ctxpref_rank_cs_states_abandoned_total",
+                     "Query states left unevaluated by deadline aborts"),
       reg.GetHistogram("ctxpref_rank_cs_latency_ns",
                        "End-to-end Rank_CS latency (plain and cached)"),
   };
@@ -71,11 +75,32 @@ StatusOr<QueryResult> RankCS(const db::Relation& relation,
   // Ticked per query, not per tuple: one relaxed add in the inner loop
   // per scored tuple would be measurable in the benches.
   uint64_t tuples_scored = 0;
+  size_t states_done = 0;
+  // Partial-work accounting for deadline aborts: which state the loop
+  // died in, how many finished, how much was already scored.
+  auto deadline_exceeded = [&]() -> Status {
+    metrics.deadline_exceeded.Increment();
+    metrics.states.Increment(states_done);
+    metrics.states_abandoned.Increment(states.size() - states_done);
+    metrics.tuples_scored.Increment(tuples_scored);
+    return Status::DeadlineExceeded(
+        "rank_cs: deadline exceeded after " + std::to_string(states_done) +
+        "/" + std::to_string(states.size()) + " states (" +
+        std::to_string(tuples_scored) + " tuples scored)");
+  };
   for (const ContextState& s : states) {
+    // Cancellation point: one null check when no deadline is set, one
+    // injected-clock read otherwise. Per state, not per tuple — the
+    // selection inner loop is the hot path.
+    if (options.deadline.Expired()) return deadline_exceeded();
     CTXPREF_RETURN_IF_ERROR(s.Validate(env));
     TraceSpan state_span("rank_cs.state");
     std::vector<CandidatePath> best = resolve(s, options.resolution, counter);
     for (const CandidatePath& cand : best) {
+      // Cancellation point: before each candidate's selections run
+      // against the relation (resolution already paid for, selection —
+      // the expensive part — not yet).
+      if (options.deadline.Expired()) return deadline_exceeded();
       for (const ProfileTree::LeafEntry& entry : cand.entries) {
         StatusOr<db::Predicate> pred =
             db::Predicate::Create(relation.schema(), entry.clause.attribute,
@@ -103,6 +128,7 @@ StatusOr<QueryResult> RankCS(const db::Relation& relation,
       }
     }
     result.traces.push_back(QueryResult::Trace{s, std::move(best)});
+    ++states_done;
   }
 
   result.tuples =

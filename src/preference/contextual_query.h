@@ -12,6 +12,7 @@
 #include "preference/resolution.h"
 #include "preference/sequential_store.h"
 #include "util/counters.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 namespace ctxpref {
@@ -29,6 +30,8 @@ struct RankMetrics {
   Counter& cached_queries;  ///< ctxpref_rank_cs_cached_queries_total
   Counter& states;          ///< ctxpref_rank_cs_states_total
   Counter& tuples_scored;   ///< ctxpref_rank_cs_tuples_scored_total
+  Counter& deadline_exceeded;  ///< ctxpref_rank_cs_deadline_exceeded_total
+  Counter& states_abandoned;   ///< ctxpref_rank_cs_states_abandoned_total
   LatencyHistogram& latency;  ///< ctxpref_rank_cs_latency_ns
 
   static RankMetrics& Get();
@@ -98,6 +101,16 @@ struct QueryOptions {
   /// (`storage::ServeQuery`) ignores this and tags entries with the
   /// pinned snapshot's user id and serving version instead.
   std::string cache_user;
+  /// Cancellation budget for the whole evaluation. Checked at cheap
+  /// cancellation points — the per-state loops of `RankCS` /
+  /// `CachedRankCS` and `ThreadPool` task dequeue (an expired queued
+  /// state task is dropped, not run) — so an overloaded server stops
+  /// spending cycles on answers nobody is waiting for. Expiry surfaces
+  /// as `kDeadlineExceeded` with partial-work accounting in the
+  /// message. Default: infinite (one null check per cancellation
+  /// point). Declared last so existing designated initializers keep
+  /// compiling.
+  util::Deadline deadline;
 };
 
 /// Result of Rank_CS: scored tuples plus resolution diagnostics

@@ -182,15 +182,22 @@ std::shared_ptr<const ContextQueryTree::Entry> ContextQueryTree::Lookup(
       ++shard.misses;
       ++shard.pending_misses;
     } else if (node->leaf->version != profile_version) {
-      // Stale: computed against an older profile. Drop on touch.
-      shard.lru.erase(node->leaf->lru_it);
-      RemovePath(shard, user, state);
-      --shard.size;
-      ++shard.misses;
-      ++shard.invalidations;
-      ++shard.pending_misses;
-      ++shard.pending_invalidations;
-      invalidated = true;
+      if (retain_stale_.load(std::memory_order_relaxed)) {
+        // Retain-stale mode: a miss for the fresh path, but the entry
+        // stays reachable for LookupAtOrBefore's staleness window.
+        ++shard.misses;
+        ++shard.pending_misses;
+      } else {
+        // Stale: computed against an older profile. Drop on touch.
+        shard.lru.erase(node->leaf->lru_it);
+        RemovePath(shard, user, state);
+        --shard.size;
+        ++shard.misses;
+        ++shard.invalidations;
+        ++shard.pending_misses;
+        ++shard.pending_invalidations;
+        invalidated = true;
+      }
     } else {
       // Refresh LRU position.
       shard.lru.splice(shard.lru.begin(), shard.lru, node->leaf->lru_it);
@@ -219,6 +226,50 @@ std::shared_ptr<const ContextQueryTree::Entry> ContextQueryTree::Lookup(
     span.Tag("outcome", result != nullptr ? "hit"
                         : invalidated     ? "invalidated"
                                           : "miss");
+  }
+  return result;
+}
+
+std::shared_ptr<const ContextQueryTree::Entry>
+ContextQueryTree::LookupAtOrBefore(const std::string& user,
+                                   const ContextState& state,
+                                   uint64_t max_version, uint64_t min_version,
+                                   uint64_t* entry_version,
+                                   AccessCounter* counter) {
+  CacheMetrics& metrics = CacheMetrics::Get();
+  TraceSpan span("query_cache.lookup_at_or_before");
+  Shard& shard = ShardFor(user, state);
+  std::shared_ptr<const Entry> result;
+  {
+    util::MutexLock lock(shard.mu);
+    ++shard.lookups;
+    Node* node = Descend(shard, user, state, /*create=*/false, counter);
+    if (node != nullptr && node->leaf != nullptr &&
+        node->leaf->version <= max_version &&
+        node->leaf->version >= min_version) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, node->leaf->lru_it);
+      ++shard.hits;
+      ++shard.pending_hits;
+      if (entry_version != nullptr) *entry_version = node->leaf->version;
+      result = node->leaf->entry;
+    } else {
+      // Absent or outside the window: plain miss, nothing dropped.
+      ++shard.misses;
+      ++shard.pending_misses;
+    }
+    if (++shard.pending_lookups >= kMetricsFlushStride) {
+      metrics.lookups.Increment(shard.pending_lookups);
+      metrics.hits.Increment(shard.pending_hits);
+      metrics.misses.Increment(shard.pending_misses);
+      metrics.invalidations.Increment(shard.pending_invalidations);
+      shard.pending_lookups = 0;
+      shard.pending_hits = 0;
+      shard.pending_misses = 0;
+      shard.pending_invalidations = 0;
+    }
+  }
+  if (span.active()) {
+    span.Tag("outcome", result != nullptr ? "hit" : "miss");
   }
   return result;
 }
@@ -358,6 +409,14 @@ PerStateResult EvaluateState(const db::Relation& relation,
                              AccessCounter* counter) {
   PerStateResult out;
   TraceSpan span("cached_rank_cs.state");
+  // Cancellation point: at state entry, before any resolution work.
+  // (A cache hit below is cheap enough that it is not worth a second
+  // clock read to allow it through after expiry.)
+  if (options.deadline.Expired()) {
+    out.status =
+        Status::DeadlineExceeded("cached_rank_cs: deadline expired at state");
+    return out;
+  }
   std::shared_ptr<const ContextQueryTree::Entry> cached =
       cache.Lookup(cache_user, s, profile_version, counter);
   if (cached != nullptr) {
@@ -368,6 +427,13 @@ PerStateResult EvaluateState(const db::Relation& relation,
   // Compute this state's contribution with plain Rank_CS, then
   // populate the cache.
   std::vector<CandidatePath> best = resolve(s, options.resolution, counter);
+  // Cancellation point: resolution paid for, selections (the expensive
+  // part) not yet.
+  if (options.deadline.Expired()) {
+    out.status = Status::DeadlineExceeded(
+        "cached_rank_cs: deadline expired before selections");
+    return out;
+  }
   db::Ranker state_ranker(options.combine);
   state_ranker.ReserveDense(relation.size());
   for (const CandidatePath& cand : best) {
@@ -453,22 +519,34 @@ StatusOr<QueryResult> CachedRankCSImpl(const db::Relation& relation,
       pool = transient.get();
     }
     for (size_t i = 0; i < states.size(); ++i) {
-      pool->Submit([&, i] {
-        PerStateResult r;
-        try {
-          r = EvaluateState(relation, states[i], resolve, cache_user,
-                            profile_version, cache, options, counter);
-        } catch (const std::exception& e) {
-          r.status = Status::Internal(e.what());
-        } catch (...) {
-          r.status = Status::Internal("unknown exception in EvaluateState");
-        }
-        per_state[i] = std::move(r);
-        // The decrement must happen in every path, or the waiter below
-        // would block forever.
-        util::MutexLock lock(done_mu);
-        if (--pending == 0) done_cv.NotifyOne();
-      });
+      // The task carries the query deadline: if it passes while the
+      // task is still queued behind other queries' states, the pool
+      // drops the body and runs `on_expired` instead — which must
+      // still count the completion down, or the wait below would hang.
+      pool->Submit(
+          [&, i] {
+            PerStateResult r;
+            try {
+              r = EvaluateState(relation, states[i], resolve, cache_user,
+                                profile_version, cache, options, counter);
+            } catch (const std::exception& e) {
+              r.status = Status::Internal(e.what());
+            } catch (...) {
+              r.status = Status::Internal("unknown exception in EvaluateState");
+            }
+            per_state[i] = std::move(r);
+            // The decrement must happen in every path, or the waiter
+            // below would block forever.
+            util::MutexLock lock(done_mu);
+            if (--pending == 0) done_cv.NotifyOne();
+          },
+          options.deadline,
+          /*on_expired=*/[&, i] {
+            per_state[i].status = Status::DeadlineExceeded(
+                "cached_rank_cs: state task expired in pool queue");
+            util::MutexLock lock(done_mu);
+            if (--pending == 0) done_cv.NotifyOne();
+          });
     }
     util::MutexLock lock(done_mu);
     done_cv.Wait(done_mu, [&] { return pending == 0; });
@@ -478,7 +556,23 @@ StatusOr<QueryResult> CachedRankCSImpl(const db::Relation& relation,
   db::Ranker ranker(options.combine);
   for (size_t i = 0; i < states.size(); ++i) {
     PerStateResult& ps = per_state[i];
-    if (!ps.status.ok()) return ps.status;
+    if (!ps.status.ok()) {
+      if (ps.status.IsDeadlineExceeded()) {
+        // Partial-work accounting: how many states completed before
+        // the budget ran out (states may finish out of order on the
+        // pool, so count across the whole array, not the prefix).
+        size_t done = 0;
+        for (const PerStateResult& r : per_state) {
+          if (r.status.ok()) ++done;
+        }
+        metrics.deadline_exceeded.Increment();
+        metrics.states_abandoned.Increment(states.size() - done);
+        return Status::DeadlineExceeded(
+            "cached_rank_cs: deadline exceeded after " + std::to_string(done) +
+            "/" + std::to_string(states.size()) + " states");
+      }
+      return ps.status;
+    }
     for (const db::ScoredTuple& t : ps.tuples) {
       // Re-apply the query's restricting selections: cached lists are
       // selection-agnostic (keyed by context state only).

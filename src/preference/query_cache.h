@@ -1,6 +1,7 @@
 #ifndef CTXPREF_PREFERENCE_QUERY_CACHE_H_
 #define CTXPREF_PREFERENCE_QUERY_CACHE_H_
 
+#include <atomic>
 #include <list>
 #include <memory>
 #include <string>
@@ -138,6 +139,19 @@ class ContextQueryTree {
     return Lookup(std::string(), state, profile_version, counter);
   }
 
+  /// Bounded-staleness lookup for the degradation ladder: returns the
+  /// cached entry for `user`'s `state` if its stored version lies in
+  /// `[min_version, max_version]`, writing the actual version to
+  /// `*entry_version`. Unlike `Lookup` it never drops an entry — an
+  /// out-of-window version is simply a miss (the entry may serve a
+  /// different staleness window later). Requires retain-stale mode (or
+  /// luck) for entries older than the current serving version to still
+  /// be present. Counted as a lookup plus hit/miss in the shard stats.
+  std::shared_ptr<const Entry> LookupAtOrBefore(
+      const std::string& user, const ContextState& state,
+      uint64_t max_version, uint64_t min_version,
+      uint64_t* entry_version = nullptr, AccessCounter* counter = nullptr);
+
   /// Caches `tuples` (and the resolution `candidates` that produced
   /// them) for `user`'s `state` at `profile_version`, evicting the
   /// shard's least-recently-used entry beyond the shard capacity.
@@ -164,6 +178,23 @@ class ContextQueryTree {
 
   /// Drops every cached entry of every user (counters are kept).
   void InvalidateAll();
+
+  /// Retain-stale mode, for serving stacks that use the degradation
+  /// ladder (`storage::ServeQueryResilient`): when on, (a) `Lookup`
+  /// still *misses* on a version-skewed entry but leaves it in place
+  /// instead of dropping it (it remains reachable for
+  /// `LookupAtOrBefore`), and (b) `ProfileStore::BuildAndPublish`
+  /// skips its eager `InvalidateUser` — version tags alone keep fresh
+  /// serving correct, LRU keeps memory bounded. `RemoveUser` still
+  /// invalidates unconditionally: a deleted user's results must never
+  /// be served at any staleness. Off by default (eager invalidation,
+  /// the PR 5 behavior).
+  void SetRetainStale(bool on) {
+    retain_stale_.store(on, std::memory_order_relaxed);
+  }
+  bool retain_stale() const {
+    return retain_stale_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Node;
@@ -238,6 +269,7 @@ class ContextQueryTree {
   EnvironmentPtr env_;
   Ordering order_;
   size_t shard_capacity_;  ///< Per shard; 0 = unbounded.
+  std::atomic<bool> retain_stale_{false};
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

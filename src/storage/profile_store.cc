@@ -136,8 +136,12 @@ Status ProfileStore::BuildAndPublish(User& user, const std::string& user_id,
   // dropped now rather than lingering until touched. Any lookup racing
   // ahead of this call still cannot be served stale data — entries are
   // version-tagged and the new serving version never equals the old.
+  // In retain-stale mode the old entries are deliberately KEPT: they
+  // are the degradation ladder's bounded-staleness rung (version tags
+  // keep fresh serving correct, LRU bounds the memory). A *removed*
+  // user is still invalidated unconditionally — see RemoveUser.
   if (ContextQueryTree* cache = cache_.load(std::memory_order_acquire)) {
-    cache->InvalidateUser(user_id);
+    if (!cache->retain_stale()) cache->InvalidateUser(user_id);
   }
   return Status::OK();
 }

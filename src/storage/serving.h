@@ -7,6 +7,7 @@
 
 #include "preference/contextual_query.h"
 #include "preference/query_cache.h"
+#include "storage/admission.h"
 #include "storage/profile_store.h"
 #include "util/counters.h"
 #include "util/status.h"
@@ -42,13 +43,45 @@ class SnapshotPin {
   uint64_t start_nanos_;  ///< 0 = untimed (or moved-from).
 };
 
+/// How an answer was produced, mirroring PR 3's per-parameter
+/// acquisition report at the whole-query level: callers (and the
+/// differential tests) can tell a full fresh answer from every rung of
+/// the degradation ladder.
+enum class ServedVia {
+  kFresh,      ///< Full evaluation at the pinned snapshot version.
+  kStale,      ///< Cached answer at an older consistent serving version.
+  kTruncated,  ///< First-state-only, reduced top-k evaluation.
+  kShed,       ///< Nothing served (paired with kUnavailable status).
+};
+
+const char* ServedViaToString(ServedVia v);
+
+struct ServingProvenance {
+  ServedVia via = ServedVia::kFresh;
+  /// Serving version the answer's data reflects (== `current_version`
+  /// for fresh/truncated; older for stale; 0 for shed).
+  uint64_t served_version = 0;
+  /// Serving version pinned at request time.
+  uint64_t current_version = 0;
+  /// Front-door outcome (kAdmitted when no controller was involved).
+  AdmissionDecision admission = AdmissionDecision::kAdmitted;
+  /// True when a deadline expiry (at admission or mid-evaluation)
+  /// pushed the request down the ladder.
+  bool deadline_hit = false;
+
+  /// "fresh" | "stale-v<served_version>" | "truncated" | "shed".
+  std::string ToString() const;
+};
+
 /// A ranked answer plus the exact snapshot it was computed from, so
 /// callers can attribute every tuple and trace to one published
 /// profile version (the zero-torn-reads property bench_serving and the
-/// concurrency tests check).
+/// concurrency tests check). `provenance` is filled by
+/// `ServeQueryResilient`; the plain `ServeQuery` always serves fresh.
 struct ServedQuery {
   QueryResult result;
   SnapshotPtr snapshot;
+  ServingProvenance provenance;
 };
 
 /// The multi-user serving entry point: pins `user_id`'s current
@@ -75,6 +108,48 @@ StatusOr<QueryResult> ServeQuery(const ProfileSnapshot& snapshot,
                                  ContextQueryTree* cache = nullptr,
                                  const QueryOptions& options = {},
                                  AccessCounter* counter = nullptr);
+
+/// Overload-protection knobs for `ServeQueryResilient`.
+struct ServeOptions {
+  /// The underlying query options; `query.deadline` is the request's
+  /// cancellation budget (checked at admission and at every query-path
+  /// cancellation point).
+  QueryOptions query;
+  /// Front door; null = always admitted (deadline still enforced).
+  AdmissionController* admission = nullptr;
+  QueryPriority priority = QueryPriority::kInteractive;
+  /// Ladder rung 1: serve a cached answer at an older serving version.
+  /// Requires a cache in retain-stale mode to be useful, an associative
+  /// combine (kMax/kMin, same rule as CachedRankCS), and every query
+  /// state cached at ONE consistent version — mixed versions would be a
+  /// torn answer, the thing this whole layer exists to prevent.
+  bool allow_stale = true;
+  /// How far back (in serving versions) rung 1 may reach.
+  uint64_t max_stale_versions = 8;
+  /// Ladder rung 2: evaluate only the first query state, top-k
+  /// truncated, no cache writes.
+  bool allow_truncated = true;
+  size_t truncated_top_k = 10;
+};
+
+/// `ServeQuery` wrapped in the overload-protection ladder
+/// (docs/robustness.md "Serving under overload"):
+///
+///   admission -> full evaluation -> stale-at-version -> truncated
+///   -> kUnavailable
+///
+/// A request that is shed by the `AdmissionController` or runs out of
+/// deadline mid-evaluation falls to the next rung instead of failing;
+/// every answer carries a `ServingProvenance` saying which rung served
+/// it. Errors other than deadline/shed (unknown user, bad predicate)
+/// return unchanged — the ladder only absorbs overload, not bugs.
+StatusOr<ServedQuery> ServeQueryResilient(const ProfileStore& store,
+                                          const std::string& user_id,
+                                          const db::Relation& relation,
+                                          const ContextualQuery& query,
+                                          ContextQueryTree* cache = nullptr,
+                                          const ServeOptions& opts = {},
+                                          AccessCounter* counter = nullptr);
 
 }  // namespace ctxpref::storage
 

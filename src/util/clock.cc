@@ -1,0 +1,27 @@
+#include "util/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace ctxpref {
+namespace util {
+
+int64_t SystemClock::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SystemClock::SleepMicros(int64_t micros) {
+  if (micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+}
+
+SystemClock* SystemClock::Instance() {
+  static SystemClock* clock = new SystemClock();
+  return clock;
+}
+
+}  // namespace util
+}  // namespace ctxpref

@@ -9,6 +9,8 @@ const char* LockRankName(LockRank rank) {
   switch (rank) {
     case LockRank::kUnranked:
       return "unranked";
+    case LockRank::kAdmission:
+      return "admission";
     case LockRank::kUserMap:
       return "user-map";
     case LockRank::kPerUserWrite:

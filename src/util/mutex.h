@@ -51,6 +51,11 @@ enum class LockRank : int {
   /// No rank: the lock opts out of ordering checks (function-local
   /// completion latches, test fixtures).
   kUnranked = 0,
+  /// AdmissionController::mu_ — the serving front door's in-flight
+  /// accounting. Admission is decided before any store/cache/pool lock
+  /// is touched and the ticket release takes it alone, so it sits
+  /// outermost in the hierarchy.
+  kAdmission = 5,
   /// ProfileStore::users_mu_ — the user-map shape lock, taken first on
   /// every store operation.
   kUserMap = 10,

@@ -8,35 +8,76 @@
 #include <thread>
 #include <vector>
 
+#include "util/deadline.h"
 #include "util/mutex.h"
 
 namespace ctxpref {
 
+/// Outcome of a `TrySubmit` (and, via exception, of `Submit`). Shedding
+/// callers branch on this instead of queueing behind a full pool.
+enum class SubmitResult {
+  kAccepted,          ///< Task enqueued (or already running).
+  kRejectedFull,      ///< Bounded queue at capacity; task not enqueued.
+  kRejectedShutdown,  ///< Pool is stopping; task not enqueued.
+};
+
+const char* SubmitResultToString(SubmitResult r);
+
+/// Queue discipline. FIFO is fair; LIFO-under-overload serves the
+/// *newest* work first, which under saturation spends the machine on
+/// requests whose deadlines are still alive instead of on stale ones
+/// that will be dropped at dequeue anyway (the classic adaptive-LIFO
+/// overload pattern).
+enum class DequeueOrder { kFifo, kLifo };
+
 /// A small fixed-size worker pool over a bounded task queue.
 ///
 /// `Submit` blocks when the queue is full (backpressure instead of
-/// unbounded memory growth), `Wait` blocks until every submitted task
-/// has finished. Destruction drains the queue: tasks already submitted
-/// run to completion before the `std::jthread`s join.
+/// unbounded memory growth); `TrySubmit` refuses instead of blocking
+/// and reports why, which is what admission-controlled serving paths
+/// use. `Wait` blocks until every accepted task has finished or been
+/// expired. Destruction drains the queue: tasks already submitted run
+/// to completion before the `std::jthread`s join.
+///
+/// Deadlines: a task may carry a `util::Deadline`; if it expires while
+/// the task is still queued, the worker *drops* the task at dequeue —
+/// running its `on_expired` callback (if any) instead of the task body
+/// — so a saturated pool stops wasting cycles on work nobody is
+/// waiting for. `on_expired` is how completion latches stay balanced.
 ///
 /// Used by `CachedRankCS` to evaluate the states of an extended
 /// descriptor concurrently; results are merged by the caller in a
 /// deterministic order, so tasks must not depend on execution order.
 ///
-/// Locking: one queue mutex (`LockRank::kPoolQueue`, the innermost
-/// rank — it is never held while a task body runs, so tasks may take
-/// any other lock in the tree).
+/// Locking: one queue mutex (`LockRank::kPoolQueue` — it is never held
+/// while a task body or `on_expired` runs, so tasks may take any other
+/// lock in the tree).
 class ThreadPool {
  public:
+  /// Reset-able per-pool saturation statistics (the "window"), distinct
+  /// from the process-wide `ctxpref_thread_pool_*` metrics which
+  /// aggregate across pools and never reset.
+  struct WindowStats {
+    uint64_t submitted = 0;          ///< Accepted by Submit/TrySubmit.
+    uint64_t rejected_full = 0;      ///< TrySubmit refusals (queue full).
+    uint64_t rejected_shutdown = 0;  ///< Refusals during shutdown.
+    uint64_t executed = 0;           ///< Task bodies actually run.
+    uint64_t expired_dropped = 0;    ///< Dropped at dequeue (deadline).
+    size_t queue_highwater = 0;      ///< Max queue depth since reset.
+  };
+
   /// `num_threads` is clamped to at least 1; `queue_capacity` = 0 means
   /// twice the thread count.
-  explicit ThreadPool(size_t num_threads, size_t queue_capacity = 0);
+  explicit ThreadPool(size_t num_threads, size_t queue_capacity = 0,
+                      DequeueOrder order = DequeueOrder::kFifo);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   size_t num_threads() const { return workers_.size(); }
+  size_t queue_capacity() const { return queue_capacity_; }
+  DequeueOrder dequeue_order() const { return order_; }
 
   /// Enqueues `task`; blocks while the queue is at capacity. Throws
   /// `std::runtime_error` once destruction has begun instead of
@@ -46,8 +87,28 @@ class ThreadPool {
   /// Status).
   void Submit(std::function<void()> task) EXCLUDES(mu_);
 
+  /// Like `Submit`, but the task is dropped (and `on_expired` run in
+  /// its place, on a worker thread) if `deadline` passes before a
+  /// worker dequeues it.
+  void Submit(std::function<void()> task, util::Deadline deadline,
+              std::function<void()> on_expired = nullptr) EXCLUDES(mu_);
+
+  /// Non-blocking admission: refuses instead of waiting when the queue
+  /// is full or the pool is shutting down. On any rejection the task is
+  /// NOT enqueued and `on_expired` is NOT run — the caller owns the
+  /// fallback.
+  SubmitResult TrySubmit(std::function<void()> task,
+                         util::Deadline deadline = {},
+                         std::function<void()> on_expired = nullptr)
+      EXCLUDES(mu_);
+
   /// Blocks until the queue is empty and no task is running.
   void Wait() EXCLUDES(mu_);
+
+  /// Snapshot of the stats window (since construction or the last
+  /// `ResetWindowStats`).
+  WindowStats GetWindowStats() const EXCLUDES(mu_);
+  void ResetWindowStats() EXCLUDES(mu_);
 
  private:
   /// A queued task plus its enqueue timestamp for the
@@ -56,15 +117,21 @@ class ThreadPool {
   struct Item {
     std::function<void()> fn;
     uint64_t enqueue_nanos = 0;
+    util::Deadline deadline;            ///< Infinite by default.
+    std::function<void()> on_expired;   ///< May be empty.
   };
 
   void WorkerLoop(std::stop_token stop) EXCLUDES(mu_);
+  /// Queue push + stats under the lock; caller already checked
+  /// capacity/stopping.
+  void EnqueueLocked(Item item) REQUIRES(mu_);
 
   // Unguarded members first (repo convention: everything below a mutex
   // is that mutex's guarded state — scripts/lint.py enforces it).
   size_t queue_capacity_;  ///< Set once in the constructor.
+  DequeueOrder order_;     ///< Set once in the constructor.
 
-  util::Mutex mu_{util::LockRank::kPoolQueue, "ThreadPool.mu"};
+  mutable util::Mutex mu_{util::LockRank::kPoolQueue, "ThreadPool.mu"};
   util::CondVar not_empty_;  ///< Queue gained a task.
   util::CondVar not_full_;   ///< Queue gained a slot.
   util::CondVar idle_;       ///< Queue drained, nothing running.
@@ -72,6 +139,7 @@ class ThreadPool {
   size_t running_ GUARDED_BY(mu_) = 0;  ///< Tasks currently executing.
   /// Set by the destructor; Submit fails fast.
   bool stopping_ GUARDED_BY(mu_) = false;
+  WindowStats window_ GUARDED_BY(mu_);
   /// Written only by the constructor; worker threads never touch the
   /// vector itself. Declared LAST deliberately: the jthread destructors
   /// must join the workers while mu_, the condition variables, and the

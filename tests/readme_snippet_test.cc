@@ -1,6 +1,7 @@
-// Keeps the README honest: the quickstart, resilience, serving, and
-// observability snippets, almost verbatim (error handling via ASSERT
-// instead of *-deref), must compile and behave as the README claims.
+// Keeps the README honest: the quickstart, resilience, serving,
+// overload, and observability snippets, almost verbatim (error
+// handling via ASSERT instead of *-deref), must compile and behave as
+// the README claims.
 
 #include <gtest/gtest.h>
 
@@ -10,9 +11,11 @@
 #include "preference/explain.h"
 #include "preference/profile_tree.h"
 #include "preference/query_cache.h"
+#include "storage/admission.h"
 #include "storage/profile_store.h"
 #include "storage/serving.h"
 #include "tests/test_util.h"
+#include "util/deadline.h"
 #include "util/metrics.h"
 #include "util/mutex.h"
 #include "util/trace.h"
@@ -189,6 +192,73 @@ TEST(ReadmeSnippetTest, ServingSnippetWorksAsAdvertised) {
   ASSERT_OK(
       storage::ServeQuery(store, "alice", relation, query, &cache).status());
   EXPECT_GT(cache.Stats().hits, hits_before);
+}
+
+TEST(ReadmeSnippetTest, OverloadSnippetWorksAsAdvertised) {
+  // "Serving under overload": the README's admission + deadline +
+  // ServeQueryResilient flow. Setup mirrors the serving snippet.
+  StatusOr<workload::PoiDatabase> poi = workload::MakePoiDatabase(60, 1);
+  ASSERT_OK(poi.status());
+  EnvironmentPtr env = poi->env;
+  const db::Relation& relation = poi->relation;
+
+  Profile profile(env);
+  StatusOr<CompositeDescriptor> cod = ParseCompositeDescriptor(
+      *env, "location = Plaka and temperature in {warm, hot}");
+  ASSERT_OK(cod.status());
+  StatusOr<ContextualPreference> pref = ContextualPreference::Create(
+      std::move(*cod),
+      {"name", db::CompareOp::kEq, db::Value("Acropolis")}, 0.8);
+  ASSERT_OK(pref.status());
+  ASSERT_OK(profile.Insert(std::move(*pref)));
+
+  ContextualQuery query;
+  StatusOr<CompositeDescriptor> qcod = ParseCompositeDescriptor(
+      *env, "location = Plaka and temperature = hot");
+  ASSERT_OK(qcod.status());
+  query.context = ExtendedDescriptor::FromComposite(std::move(*qcod));
+
+  storage::ProfileStore store(env);
+  ContextQueryTree cache(env, Ordering::Identity(env->size()));
+  store.AttachQueryCache(&cache);
+  ASSERT_OK(store.CreateUser("alice", std::move(profile)));
+
+  // --- the README snippet, ASSERTs in place of Log/assert ---
+  storage::AdmissionController admission(
+      {.max_in_flight = 64, .maintenance_max_in_flight = 16});
+  cache.SetRetainStale(true);   // keep old versions for the stale rung
+
+  storage::ServeOptions opts;
+  opts.admission = &admission;
+  opts.query.deadline = util::Deadline::AfterMicros(20'000);  // 20 ms
+
+  StatusOr<storage::ServedQuery> served = storage::ServeQueryResilient(
+      store, "alice", relation, query, &cache, opts);
+  ASSERT_OK(served.status());
+  // "fresh", "stale-v<N>", or "truncated" — never a torn answer.
+  EXPECT_EQ(served->provenance.ToString(), "fresh");
+  // --- end snippet ---
+
+  // Overload maps to kUnavailable, as the README's else-branch claims:
+  // a full house with every fallback rung disabled sheds the request.
+  storage::AdmissionController full_house({.max_in_flight = 0});
+  storage::ServeOptions no_fallback;
+  no_fallback.admission = &full_house;
+  no_fallback.allow_stale = false;
+  no_fallback.allow_truncated = false;
+  StatusOr<storage::ServedQuery> shed = storage::ServeQueryResilient(
+      store, "alice", relation, query, &cache, no_fallback);
+  EXPECT_TRUE(shed.status().IsUnavailable()) << shed.status().ToString();
+
+  // And with the stale rung allowed, the same full house serves the
+  // cached answer instead — the ladder in one assertion.
+  storage::ServeOptions with_stale;
+  with_stale.admission = &full_house;
+  StatusOr<storage::ServedQuery> stale = storage::ServeQueryResilient(
+      store, "alice", relation, query, &cache, with_stale);
+  ASSERT_OK(stale.status());
+  EXPECT_EQ(stale->provenance.via, storage::ServedVia::kStale);
+  EXPECT_EQ(stale->result.tuples, served->result.tuples);
 }
 
 TEST(ReadmeSnippetTest, ObservabilitySnippetWorksAsAdvertised) {

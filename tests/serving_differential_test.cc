@@ -460,6 +460,98 @@ TEST_P(ServingDifferentialTest, FlatTreeMatchesPointerTreeOnPaperEnv) {
   }
 }
 
+// ---- Stale-rung differential (ISSUE 8) -----------------------------
+//
+// The degradation ladder's bounded-staleness rung promises its answer
+// is exactly what a direct ServeQuery pinned at the older snapshot
+// would have produced — same tuples, same traces, bit-identical
+// scores. Anything weaker would mean the rung's cache-merge path is a
+// second ranking implementation that can drift from the real one.
+
+TEST_P(ServingDifferentialTest, StaleAnswersMatchDirectServeAtPinnedVersion) {
+  EnvironmentPtr env = TinyEnv();
+  const std::vector<ContextState> world = AllExtendedStates(*env);
+  const db::Relation relation = MakeRelation();
+  Rng rng(GetParam() + 53);
+
+  storage::ProfileStore store(env);
+  ContextQueryTree cache(env, Ordering::Identity(env->size()),
+                         /*capacity=*/256);
+  cache.SetRetainStale(true);
+  store.AttachQueryCache(&cache);
+  Profile initial = RandomProfile(rng, env, world);
+  if (initial.empty()) GTEST_SKIP() << "empty draw";
+  ASSERT_OK(store.CreateUser("u", std::move(initial)));
+
+  storage::AdmissionController shed_all(
+      storage::AdmissionPolicy{.max_in_flight = 0});
+
+  for (int round = 0; round < 10; ++round) {
+    // Warm the cache with a random multi-state query at the current
+    // version, keeping that answer's snapshot pinned.
+    ExtendedDescriptor ecod;
+    const size_t disjuncts = 1 + rng.Uniform(3);
+    for (size_t d = 0; d < disjuncts; ++d) {
+      StatusOr<CompositeDescriptor> cod = CompositeDescriptor::ForState(
+          *env, world[rng.Uniform(world.size())]);
+      ASSERT_OK(cod.status());
+      ecod.AddDisjunct(std::move(*cod));
+    }
+    ContextualQuery query;
+    query.context = ecod;
+
+    StatusOr<storage::ServedQuery> warm =
+        storage::ServeQueryResilient(store, "u", relation, query, &cache);
+    ASSERT_OK(warm.status());
+    ASSERT_EQ(warm->provenance.via, storage::ServedVia::kFresh);
+    const storage::SnapshotPtr pinned = warm->snapshot;
+
+    // Publish a different random profile, then shed the same query: the
+    // stale rung serves the retained entries at the pinned version.
+    ASSERT_OK(store.PublishProfile("u", RandomProfile(rng, env, world)));
+    storage::ServeOptions opts;
+    opts.admission = &shed_all;
+    StatusOr<storage::ServedQuery> stale =
+        storage::ServeQueryResilient(store, "u", relation, query, &cache, opts);
+    ASSERT_OK(stale.status());
+    ASSERT_EQ(stale->provenance.via, storage::ServedVia::kStale)
+        << "round " << round;
+    EXPECT_EQ(stale->provenance.served_version, pinned->serving_version());
+
+    StatusOr<QueryResult> direct =
+        storage::ServeQuery(*pinned, relation, query, /*cache=*/nullptr);
+    ASSERT_OK(direct.status());
+    EXPECT_EQ(stale->result.tuples, direct->tuples) << "round " << round;
+    ASSERT_EQ(stale->result.traces.size(), direct->traces.size());
+    for (size_t i = 0; i < stale->result.traces.size(); ++i) {
+      ExpectSameCandidates(*env, direct->traces[i].candidates,
+                           stale->result.traces[i].candidates,
+                           "round " + std::to_string(round) + " trace");
+    }
+  }
+
+  // Beyond the staleness window the rung refuses even a cached entry;
+  // with truncation off too, the shed surfaces as kUnavailable.
+  ContextualQuery query;
+  StatusOr<CompositeDescriptor> cod =
+      CompositeDescriptor::ForState(*env, world[0]);
+  ASSERT_OK(cod.status());
+  query.context = ExtendedDescriptor::FromComposite(std::move(*cod));
+  ASSERT_OK(storage::ServeQueryResilient(store, "u", relation, query, &cache)
+                .status());  // Warm world[0] at the current version…
+  for (int i = 0; i < 3; ++i) {  // …then age it past the window below.
+    ASSERT_OK(store.PublishProfile("u", RandomProfile(rng, env, world)));
+  }
+  storage::ServeOptions tight;
+  tight.admission = &shed_all;
+  tight.max_stale_versions = 2;
+  tight.allow_truncated = false;
+  StatusOr<storage::ServedQuery> off = storage::ServeQueryResilient(
+      store, "u", relation, query, &cache, tight);
+  ASSERT_FALSE(off.ok());
+  EXPECT_TRUE(off.status().IsUnavailable()) << off.status().ToString();
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ServingDifferentialTest,
                          ::testing::Values(8101, 8102, 8103, 8104));
 

@@ -15,9 +15,15 @@
 // Fully deterministic: FakeClock + seeded rigs; rerunning reproduces
 // the committed BENCH_availability.json byte for byte.
 //
-//   $ ./bench_availability [out.json]
+//   $ ./bench_availability [out.json] [--scenario=FILE]
+//
+// --scenario=FILE seeds the shared knobs (queries <- ops, top_k,
+// seed, pois) from a scenario config (docs/scenarios.md); its
+// sensor_dropout, when nonzero, is added as an extra sweep rate.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <unordered_set>
@@ -25,6 +31,7 @@
 
 #include "context/parser.h"
 #include "context/resilient_source.h"
+#include "harness/scenario_config.h"
 #include "preference/contextual_query.h"
 #include "preference/profile_tree.h"
 #include "util/random.h"
@@ -36,9 +43,12 @@ using namespace ctxpref;
 
 namespace {
 
-constexpr size_t kQueries = 80;
-constexpr size_t kTopK = 10;
-constexpr uint64_t kSeed = 2026;
+// Defaults reproduce the committed BENCH_availability.json;
+// --scenario=FILE overrides them from a scenario config.
+size_t g_queries = 80;
+size_t g_top_k = 10;
+uint64_t g_seed = 2026;
+size_t g_pois = 150;
 
 StatusOr<CompositeDescriptor> DescriptorForState(const ContextEnvironment& env,
                                                  const ContextState& state) {
@@ -68,7 +78,7 @@ StatusOr<std::unordered_set<db::RowId>> TopK(const db::Relation& relation,
   StatusOr<QueryResult> result = RankCS(relation, cq, resolver, options);
   if (!result.ok()) return result.status();
   std::unordered_set<db::RowId> top;
-  for (size_t i = 0; i < result->tuples.size() && i < kTopK; ++i) {
+  for (size_t i = 0; i < result->tuples.size() && i < g_top_k; ++i) {
     top.insert(result->tuples[i].row_id);
   }
   return top;
@@ -109,11 +119,11 @@ StatusOr<SweepPoint> RunCell(
         pi, env.parameter(pi).hierarchy().AllValue(), &clock);
     faults.push_back(fault.get());
     Status st = current.AddSource(std::make_unique<ResilientSource>(
-        env, std::move(fault), policy, &clock, kSeed ^ (1000 * pi + 7)));
+        env, std::move(fault), policy, &clock, g_seed ^ (1000 * pi + 7)));
     if (!st.ok()) return st;
   }
 
-  Rng chaos(kSeed + static_cast<uint64_t>(rate * 1000) +
+  Rng chaos(g_seed + static_cast<uint64_t>(rate * 1000) +
             (mode == "latency" ? 500'000 : 0));
   SweepPoint point;
   point.mode = mode;
@@ -209,11 +219,30 @@ void AppendJson(std::string& out, const SweepPoint& p, bool last) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path =
-      argc > 1 ? argv[1] : std::string("BENCH_availability.json");
+  std::string out_path = "BENCH_availability.json";
+  double scenario_rate = -1.0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--scenario=", 11) == 0) {
+      StatusOr<harness::ScenarioConfig> cfg =
+          harness::LoadScenarioConfig(arg + 11);
+      if (!cfg.ok()) {
+        std::fprintf(stderr, "--scenario: %s\n",
+                     cfg.status().ToString().c_str());
+        return 2;
+      }
+      g_queries = cfg->ops;
+      g_top_k = cfg->top_k;
+      g_seed = cfg->seed;
+      g_pois = cfg->pois;
+      scenario_rate = cfg->sensor_dropout;
+    } else {
+      out_path = arg;
+    }
+  }
 
   StatusOr<workload::PoiDatabase> poi =
-      workload::MakePoiDatabase(150, kSeed);
+      workload::MakePoiDatabase(g_pois, g_seed);
   if (!poi.ok()) {
     std::fprintf(stderr, "%s\n", poi.status().ToString().c_str());
     return 1;
@@ -254,7 +283,7 @@ int main(int argc, char** argv) {
   TreeResolver resolver(&*tree);
 
   const std::vector<ContextState> queries =
-      workload::RandomQueryBatch(env, kQueries, kSeed + 1, 0.2);
+      workload::RandomQueryBatch(env, g_queries, g_seed + 1, 0.2);
   std::vector<std::unordered_set<db::RowId>> truth_top;
   truth_top.reserve(queries.size());
   for (const ContextState& q : queries) {
@@ -269,23 +298,28 @@ int main(int argc, char** argv) {
 
   std::printf("Availability sweep: %zu queries, top-%zu agreement vs true "
               "context\n\n",
-              queries.size(), kTopK);
+              queries.size(), g_top_k);
   std::printf("%8s %6s %11s %11s %12s %11s\n", "mode", "rate", "agreement",
               "mean lvl", "specificity", "degraded");
 
   std::string json;
   json += "{\n";
   json += "  \"bench\": \"availability\",\n";
-  json += "  \"config\": {\"queries\": " + std::to_string(kQueries) +
-          ", \"top_k\": " + std::to_string(kTopK) +
-          ", \"seed\": " + std::to_string(kSeed) +
+  json += "  \"config\": {\"queries\": " + std::to_string(g_queries) +
+          ", \"top_k\": " + std::to_string(g_top_k) +
+          ", \"seed\": " + std::to_string(g_seed) +
           ", \"max_attempts\": 2},\n";
   json += "  \"sweep\": [\n";
 
-  const double rates[] = {0.0, 0.05, 0.10, 0.20, 0.35, 0.50};
+  std::vector<double> rates = {0.0, 0.05, 0.10, 0.20, 0.35, 0.50};
+  if (scenario_rate > 0.0 &&
+      std::find(rates.begin(), rates.end(), scenario_rate) == rates.end()) {
+    rates.insert(std::upper_bound(rates.begin(), rates.end(), scenario_rate),
+                 scenario_rate);
+  }
   const char* modes[] = {"dropout", "latency"};
   size_t emitted = 0;
-  const size_t total = 2 * (sizeof(rates) / sizeof(rates[0]));
+  const size_t total = 2 * rates.size();
   for (const char* mode : modes) {
     for (double rate : rates) {
       StatusOr<SweepPoint> point =

@@ -17,6 +17,9 @@
 //
 // Flags: --readers=N --users=M --swaps_per_sec=R --duration_ms=D
 // plus the shared --metrics family from bench_metrics.h.
+// --scenario=FILE seeds the shared knobs (users, pois, seed, threads
+// -> readers) from a scenario config (docs/scenarios.md); explicit
+// flags given after it still override.
 
 #include <algorithm>
 #include <atomic>
@@ -32,6 +35,7 @@
 
 #include "bench_metrics.h"
 #include "context/parser.h"
+#include "harness/scenario_config.h"
 #include "preference/query_cache.h"
 #include "storage/profile_store.h"
 #include "storage/serving.h"
@@ -48,13 +52,27 @@ struct Flags {
   size_t users = 4;
   double swaps_per_sec = 100.0;
   size_t duration_ms = 1000;
+  size_t pois = 100;
+  uint64_t seed = 17;
 };
 
 Flags ParseFlags(int argc, char** argv) {
   Flags f;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strncmp(arg, "--readers=", 10) == 0) {
+    if (std::strncmp(arg, "--scenario=", 11) == 0) {
+      StatusOr<harness::ScenarioConfig> cfg =
+          harness::LoadScenarioConfig(arg + 11);
+      if (!cfg.ok()) {
+        std::fprintf(stderr, "--scenario: %s\n",
+                     cfg.status().ToString().c_str());
+        std::exit(2);
+      }
+      f.users = cfg->users;
+      f.readers = cfg->threads;
+      f.pois = cfg->pois;
+      f.seed = cfg->seed;
+    } else if (std::strncmp(arg, "--readers=", 10) == 0) {
       f.readers = static_cast<size_t>(std::atoll(arg + 10));
     } else if (std::strncmp(arg, "--users=", 8) == 0) {
       f.users = static_cast<size_t>(std::atoll(arg + 8));
@@ -240,7 +258,8 @@ PhaseResult RunPhase(storage::ProfileStore& store, ContextQueryTree& cache,
 }
 
 int Run(const Flags& flags) {
-  StatusOr<workload::PoiDatabase> poi = workload::MakePoiDatabase(100, 17);
+  StatusOr<workload::PoiDatabase> poi =
+      workload::MakePoiDatabase(flags.pois, flags.seed);
   if (!poi.ok()) {
     std::fprintf(stderr, "%s\n", poi.status().ToString().c_str());
     return 1;

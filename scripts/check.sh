@@ -18,6 +18,11 @@
 #                                 # the flat-vs-pointer Search_CS
 #                                 # speedup gate + advisory baseline
 #                                 # diff (CI job)
+#   scripts/check.sh --scenarios  # Release scenario_runner over every
+#                                 # scenarios/*.cfg: each must be
+#                                 # deterministic (two runs, identical
+#                                 # CSV) and the cache + shed ablation
+#                                 # ratio gates must hold (CI job)
 #
 # The static-analysis modes auto-detect clang/clang-tidy and print a
 # clear SKIP instead of failing on GCC-only machines; lint.py always
@@ -41,6 +46,7 @@ RUN_COV=0
 RUN_TIDY=0
 RUN_TSA=0
 RUN_BENCH=0
+RUN_SCENARIOS=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) RUN_TSAN=1 ;;
@@ -51,6 +57,7 @@ for arg in "$@"; do
     --only-tidy) RUN_PLAIN=0; RUN_ASAN=0; RUN_TSAN=0; RUN_TIDY=1 ;;
     --thread-safety) RUN_PLAIN=0; RUN_ASAN=0; RUN_TSAN=0; RUN_TSA=1 ;;
     --bench-gate) RUN_PLAIN=0; RUN_ASAN=0; RUN_TSAN=0; RUN_BENCH=1 ;;
+    --scenarios) RUN_PLAIN=0; RUN_ASAN=0; RUN_TSAN=0; RUN_SCENARIOS=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -189,6 +196,62 @@ if [[ "${RUN_BENCH}" == 1 ]]; then
   fi
   python3 scripts/compare_bench.py BENCH_overload_baseline.json \
     build-bench/bench_overload.json
+fi
+
+if [[ "${RUN_SCENARIOS}" == 1 ]]; then
+  # Scenario matrix: every committed scenario must run deterministically
+  # (two same-seed runs, bit-identical CSV — the CSV carries only
+  # virtual-time fields, so this holds on any machine), then the two
+  # ablation ratio gates. Both gates compare deterministic virtual-time
+  # figures (/vop, /goodop) from the same run, so they are immune to
+  # shared-runner noise; wall time is advisory (see docs/scenarios.md).
+  echo "==== scenario harness (determinism + ablation gates) ===="
+  # shellcheck disable=SC2086
+  cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release \
+    ${CTXPREF_CMAKE_ARGS:-} > /dev/null
+  sc_build_status=0
+  cmake --build build-bench -j "${JOBS}" --target scenario_runner \
+    -- --no-print-directory > build-bench/check-build.log 2>&1 \
+    || sc_build_status=$?
+  grep -E "error|warning" build-bench/check-build.log || true
+  if [[ "${sc_build_status}" -ne 0 ]]; then
+    echo "BUILD FAILED (scenarios); full log:" \
+         "build-bench/check-build.log" >&2
+    exit "${sc_build_status}"
+  fi
+  mkdir -p build-bench/scenarios
+  for cfg in scenarios/*.cfg; do
+    name="$(basename "${cfg}" .cfg)"
+    echo "---- ${name}: determinism ----"
+    ./build-bench/bench/scenario_runner --config="${cfg}" \
+      --csv_out="build-bench/scenarios/${name}.1.csv"
+    ./build-bench/bench/scenario_runner --config="${cfg}" \
+      --csv_out="build-bench/scenarios/${name}.2.csv" > /dev/null
+    if ! cmp "build-bench/scenarios/${name}.1.csv" \
+             "build-bench/scenarios/${name}.2.csv"; then
+      echo "FAIL: ${cfg} is nondeterministic (same config + seed" \
+           "produced different CSV)" >&2
+      exit 1
+    fi
+  done
+
+  echo "---- cache ablation gate (virtual ns/op, same run) ----"
+  ./build-bench/bench/scenario_runner --config=scenarios/cache_heavy.cfg \
+    --ablate=cache --bench_json=build-bench/scenarios/cache_gate.json
+  python3 scripts/compare_bench.py \
+    --speedup build-bench/scenarios/cache_gate.json \
+    --base-prefix SC_cache_heavy_CacheOff \
+    --target-prefix SC_cache_heavy_CacheOn \
+    --min-ratio 2.0 --pair-filter '/vop$'
+
+  echo "---- shed ablation gate (virtual ns/good-op, same run) ----"
+  ./build-bench/bench/scenario_runner --config=scenarios/overload_shed.cfg \
+    --ablate=shed --bench_json=build-bench/scenarios/shed_gate.json
+  python3 scripts/compare_bench.py \
+    --speedup build-bench/scenarios/shed_gate.json \
+    --base-prefix SC_overload_shed_ShedOff \
+    --target-prefix SC_overload_shed_ShedOn \
+    --min-ratio 1.5 --pair-filter '/goodop$'
 fi
 
 if [[ "${RUN_TIDY}" == 1 ]]; then

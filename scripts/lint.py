@@ -30,6 +30,12 @@ Checks (docs/static_analysis.md has the conventions these enforce):
               docs/static_analysis.md — the enum is the single source
               of truth and the doc must not drift from it.
 
+  ablation-doc  Every ablation flag declared in the
+              CTXPREF_ABLATION_FLAGS X-macro
+              (src/harness/scenario_config.h) must appear, backticked,
+              in docs/scenarios.md's ablation table — same
+              single-source-of-truth contract as lock-rank.
+
 Suppress a single line with  // lint:allow(<check>)  and a short reason.
 Exit status: 0 clean, 1 findings, 2 usage error.
 """
@@ -71,6 +77,29 @@ ALLOW = re.compile(r"//\s*lint:allow\((?P<check>[\w-]+)\)")
 LOCK_RANK_ENUM = "src/util/mutex.h"
 LOCK_RANK_DOC = "docs/static_analysis.md"
 LOCK_RANK_USE = re.compile(r"\bLockRank::(k\w+)")
+
+ABLATION_HEADER = "src/harness/scenario_config.h"
+ABLATION_DOC = "docs/scenarios.md"
+
+
+def declared_ablation_flags():
+    """Flag names from the CTXPREF_ABLATION_FLAGS X-macro, or None."""
+    try:
+        with open(ABLATION_HEADER, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError:
+        return None
+    body, in_macro = [], False
+    for line in lines:
+        if re.match(r"#\s*define\s+CTXPREF_ABLATION_FLAGS\(X\)", line):
+            in_macro = True
+        if in_macro:
+            body.append(line)
+            if not line.rstrip().endswith("\\"):
+                break
+    if not body:
+        return None
+    return set(re.findall(r"\bX\((\w+)\)", "\n".join(body)))
 
 
 def declared_lock_ranks():
@@ -225,6 +254,28 @@ def check_lock_rank_doc(ranks, findings):
                          "missing from the lock-hierarchy table")
 
 
+def check_ablation_doc(findings):
+    """docs/scenarios.md must document every declared ablation flag."""
+    flags = declared_ablation_flags()
+    if flags is None:
+        print(f"lint.py: warning: cannot parse {ABLATION_HEADER}; "
+              "ablation-doc check skipped", file=sys.stderr)
+        return
+    try:
+        with open(ABLATION_DOC, encoding="utf-8") as f:
+            doc = f.read()
+    except OSError:
+        findings.add(ABLATION_DOC, 1, "ablation-doc",
+                     "cannot read the scenario-harness doc")
+        return
+    for name in sorted(flags):
+        if not re.search(rf"`{name}`", doc):
+            findings.add(ABLATION_DOC, 1, "ablation-doc",
+                         f"ablation flag '{name}' (declared in "
+                         f"{ABLATION_HEADER}) is missing from the "
+                         "ablation table")
+
+
 def lint_file(path, ranks, findings):
     with open(path, encoding="utf-8", errors="replace") as f:
         lines = f.read().splitlines()
@@ -263,6 +314,7 @@ def main():
     for path in files:
         lint_file(os.path.normpath(path), ranks, findings)
     check_lock_rank_doc(ranks, findings)
+    check_ablation_doc(findings)
 
     for path, lineno, check, message in findings.items:
         print(f"{path}:{lineno}: [{check}] {message}")

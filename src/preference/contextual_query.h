@@ -101,6 +101,11 @@ struct QueryOptions {
   /// (`storage::ServeQuery`) ignores this and tags entries with the
   /// pinned snapshot's user id and serving version instead.
   std::string cache_user;
+  /// When false, `storage::ServeQuery` resolves against the snapshot's
+  /// pointer tree even when an arena-flattened tree is available.
+  /// Ablation switch for the scenario harness (`flat = off`); both
+  /// paths produce identical results, so this only changes cost.
+  bool prefer_flat = true;
   /// Cancellation budget for the whole evaluation. Checked at cheap
   /// cancellation points — the per-state loops of `RankCS` /
   /// `CachedRankCS` and `ThreadPool` task dequeue (an expired queued

@@ -92,8 +92,11 @@ StatusOr<QueryResult> ServeQuery(const ProfileSnapshot& snapshot,
   // one (ProfileStore always publishes with it); the pointer tree is
   // the fallback for manually-built snapshots. Both produce identical
   // results — the differential tests pin that down — so this is purely
-  // a hot-path choice.
-  if (const FlatProfileTree* flat = snapshot.flat_tree()) {
+  // a hot-path choice. `options.prefer_flat = false` (the harness's
+  // `flat = off` ablation) forces the pointer-tree fallback.
+  const FlatProfileTree* flat =
+      options.prefer_flat ? snapshot.flat_tree() : nullptr;
+  if (flat != nullptr) {
     FlatResolver resolver(flat);
     if (cache != nullptr) {
       // Tag entries with the snapshot's own identity, never

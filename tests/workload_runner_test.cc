@@ -1,0 +1,162 @@
+// Tests for the scenario harness's WorkloadRunner: determinism (two
+// runs of the same config + seed produce bit-identical CSV), the
+// ablation flags actually changing behavior, and the virtual-time
+// overload model's goodput contrast.
+
+#include "harness/workload_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/scenario_config.h"
+
+namespace ctxpref::harness {
+namespace {
+
+ScenarioConfig SmallConfig() {
+  StatusOr<ScenarioConfig> cfg = ParseScenarioConfig(
+      "name = unit\n"
+      "users = 3\n"
+      "pois = 120\n"
+      "profile_size = 20\n"
+      "ops = 200\n"
+      "update_rate = 0.1\n"
+      "top_k = 5\n"
+      "seed = 7\n");
+  EXPECT_TRUE(cfg.ok()) << cfg.status().ToString();
+  return *cfg;
+}
+
+TEST(WorkloadRunnerTest, SameConfigSameSeedIsBitIdentical) {
+  const ScenarioConfig cfg = SmallConfig();
+  StatusOr<ScenarioResult> a = WorkloadRunner(cfg).Run();
+  StatusOr<ScenarioResult> b = WorkloadRunner(cfg).Run();
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(a->CsvRow(), b->CsvRow());
+  EXPECT_EQ(a->result_crc, b->result_crc);
+}
+
+TEST(WorkloadRunnerTest, DifferentSeedChangesResults) {
+  ScenarioConfig cfg = SmallConfig();
+  StatusOr<ScenarioResult> a = WorkloadRunner(cfg).Run();
+  cfg.seed = 8;
+  StatusOr<ScenarioResult> b = WorkloadRunner(cfg).Run();
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->CsvRow(), b->CsvRow());
+}
+
+TEST(WorkloadRunnerTest, CacheAblationPreservesAnswersAndDropsHits) {
+  ScenarioConfig cfg = SmallConfig();
+  cfg.exact_fraction = 1.0;
+  StatusOr<ScenarioResult> on = WorkloadRunner(cfg).Run("cache_on");
+  cfg.ablation.cache = false;
+  StatusOr<ScenarioResult> off = WorkloadRunner(cfg).Run("cache_off");
+  ASSERT_TRUE(on.ok() && off.ok());
+  // Identical served tuples (the cache must be transparent)...
+  EXPECT_EQ(on->result_crc, off->result_crc);
+  // ...but only the cached run sees lookups.
+  EXPECT_GT(on->cache_hits + on->cache_misses, 0u);
+  EXPECT_EQ(off->cache_hits + off->cache_misses, 0u);
+}
+
+TEST(WorkloadRunnerTest, CacheHitCostShrinksVirtualTime) {
+  ScenarioConfig cfg = SmallConfig();
+  cfg.users = 2;
+  cfg.exact_fraction = 1.0;
+  cfg.update_rate = 0.0;
+  cfg.service_micros = 1000;
+  cfg.cache_hit_service_micros = 100;
+  StatusOr<ScenarioResult> on = WorkloadRunner(cfg).Run("cache_on");
+  cfg.ablation.cache = false;
+  StatusOr<ScenarioResult> off = WorkloadRunner(cfg).Run("cache_off");
+  ASSERT_TRUE(on.ok() && off.ok());
+  EXPECT_LT(on->virtual_micros, off->virtual_micros);
+  EXPECT_EQ(off->virtual_micros,
+            static_cast<int64_t>(off->ops) * cfg.service_micros);
+}
+
+TEST(WorkloadRunnerTest, ParallelAblationIsResultTransparent) {
+  ScenarioConfig cfg = SmallConfig();
+  cfg.states_per_query = 3;
+  cfg.threads = 4;
+  StatusOr<ScenarioResult> on = WorkloadRunner(cfg).Run();
+  cfg.ablation.parallel = false;
+  StatusOr<ScenarioResult> off = WorkloadRunner(cfg).Run();
+  ASSERT_TRUE(on.ok() && off.ok());
+  // The pool merge is order-fixed, so answers are bit-identical.
+  EXPECT_EQ(on->result_crc, off->result_crc);
+}
+
+TEST(WorkloadRunnerTest, ShedAblationChangesOverloadGoodput) {
+  StatusOr<ScenarioConfig> parsed = ParseScenarioConfig(
+      "name = overload\n"
+      "users = 3\n"
+      "pois = 120\n"
+      "profile_size = 20\n"
+      "ops = 500\n"
+      "arrival_rate_qps = 2000\n"
+      "deadline_micros = 5000\n"
+      "service_micros = 1000\n"
+      "degraded_service_micros = 100\n"
+      "seed = 13\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ScenarioConfig cfg = *parsed;
+  StatusOr<ScenarioResult> on = WorkloadRunner(cfg).Run("shed_on");
+  cfg.ablation.shed = false;
+  StatusOr<ScenarioResult> off = WorkloadRunner(cfg).Run("shed_off");
+  ASSERT_TRUE(on.ok() && off.ok());
+  // Under 2x overload the ladder sheds/degrades some requests but
+  // keeps real goodput; head-of-line blocking without shedding pushes
+  // nearly every completion past its deadline.
+  EXPECT_GT(on->served_shed + on->served_stale + on->served_truncated, 0u);
+  EXPECT_GT(on->good_ops, off->good_ops);
+}
+
+TEST(WorkloadRunnerTest, SensorDropoutScoresRankAgreement) {
+  ScenarioConfig cfg = SmallConfig();
+  cfg.sensor_dropout = 0.4;
+  StatusOr<ScenarioResult> result = WorkloadRunner(cfg).Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->scored_queries, 0u);
+  EXPECT_GT(result->degraded_params, 0u);
+  EXPECT_GT(result->rank_agreement_ppm, 0u);
+  EXPECT_LE(result->rank_agreement_ppm, 1'000'000u);
+}
+
+TEST(WorkloadRunnerTest, ResilienceAblationDegradesAgreement) {
+  ScenarioConfig cfg = SmallConfig();
+  cfg.sensor_dropout = 0.4;
+  StatusOr<ScenarioResult> on = WorkloadRunner(cfg).Run("resilience_on");
+  cfg.ablation.resilience = false;
+  StatusOr<ScenarioResult> off = WorkloadRunner(cfg).Run("resilience_off");
+  ASSERT_TRUE(on.ok() && off.ok());
+  // The ladder (retry/stale/lift) recovers context a raw read loses.
+  EXPECT_GE(on->rank_agreement_ppm, off->rank_agreement_ppm);
+}
+
+TEST(WorkloadRunnerTest, MigrationWindowRepublishesProfiles) {
+  ScenarioConfig cfg = SmallConfig();
+  cfg.migration_fraction = 0.2;
+  StatusOr<ScenarioResult> result = WorkloadRunner(cfg).Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->migrations, 0u);
+}
+
+TEST(WorkloadRunnerTest, CsvRowMatchesHeaderArity) {
+  const ScenarioConfig cfg = SmallConfig();
+  StatusOr<ScenarioResult> result = WorkloadRunner(cfg).Run();
+  ASSERT_TRUE(result.ok());
+  const std::string header = ScenarioResult::CsvHeader();
+  const std::string row = result->CsvRow();
+  auto commas = [](const std::string& s) {
+    size_t n = 0;
+    for (const char c : s) n += c == ',' ? 1 : 0;
+    return n;
+  };
+  EXPECT_EQ(commas(header), commas(row));
+}
+
+}  // namespace
+}  // namespace ctxpref::harness

@@ -115,7 +115,7 @@ if [[ "${RUN_TSAN}" == 1 ]]; then
   # above turns an empty match back into a failure instead of a silent
   # pass.
   configure_and_test build-tsan "thread" "concurrency tests under TSan" \
-    -R "ResilientSource|QueryCacheConcurrent|ThreadPool|Observability|Serving|Overload"
+    -R "ResilientSource|QueryCacheConcurrent|ThreadPool|Observability|Serving|Overload|Coherence"
 fi
 
 if [[ "${RUN_TSA}" == 1 ]]; then
@@ -158,6 +158,7 @@ if [[ "${RUN_BENCH}" == 1 ]]; then
   bench_build_status=0
   cmake --build build-bench -j "${JOBS}" \
     --target bench_resolution --target bench_overload \
+    --target bench_coherence \
     -- --no-print-directory > build-bench/check-build.log 2>&1 \
     || bench_build_status=$?
   grep -E "error|warning" build-bench/check-build.log || true
@@ -196,6 +197,28 @@ if [[ "${RUN_BENCH}" == 1 ]]; then
   fi
   python3 scripts/compare_bench.py BENCH_overload_baseline.json \
     build-bench/bench_overload.json
+
+  echo "==== bench gate (coherence hit rate, replicated vs single-shared) ===="
+  # The binary's own bars (phase A all-hit, torn == 0, refuse path
+  # exercised, lag quiesces to 0) fail via its exit code on any core
+  # count; the hit-rate speedup is a parallelism claim, so the ratio
+  # gate needs real cores.
+  ./build-bench/bench/bench_coherence \
+    --json_out=build-bench/bench_coherence.json
+  if [[ "$(nproc 2>/dev/null || echo 1)" -gt 1 ]]; then
+    # Replicated per-thread trees vs one shared tree under 8-reader
+    # read skew: same-run ratio, so robust to slow shared runners.
+    python3 scripts/compare_bench.py \
+      --speedup build-bench/bench_coherence.json \
+      --base-prefix BM_CoherenceHitRate_SingleShared \
+      --target-prefix BM_CoherenceHitRate_Replicated \
+      --min-ratio 1.5 --pair-filter '/8r$'
+  else
+    echo "SKIP: replicated/single-shared hit-rate gate needs >1 hardware" \
+         "thread (readers time-slice one CPU)"
+  fi
+  python3 scripts/compare_bench.py BENCH_coherence_baseline.json \
+    build-bench/bench_coherence.json
 fi
 
 if [[ "${RUN_SCENARIOS}" == 1 ]]; then

@@ -110,6 +110,7 @@ StatusOr<ScenarioConfig> ParseScenarioConfig(std::string_view text) {
       {"top_k", &cfg.top_k, 1},
       {"max_in_flight", &cfg.max_in_flight, 1},
       {"cache_capacity", &cfg.cache_capacity, 0},
+      {"coherence_replicas", &cfg.coherence_replicas, 1},
       {"threads", &cfg.threads, 1},
   };
   const RateKey rate_keys[] = {
@@ -306,6 +307,7 @@ std::string FormatScenarioConfig(const ScenarioConfig& cfg) {
        std::to_string(cfg.cache_hit_service_micros));
   emit("max_in_flight", std::to_string(cfg.max_in_flight));
   emit("cache_capacity", std::to_string(cfg.cache_capacity));
+  emit("coherence_replicas", std::to_string(cfg.coherence_replicas));
   emit("flash_crowd_fraction",
        FormatDoubleRoundTrip(cfg.flash_crowd_fraction));
   emit("outage_fraction", FormatDoubleRoundTrip(cfg.outage_fraction));

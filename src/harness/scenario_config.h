@@ -26,7 +26,8 @@ namespace ctxpref::harness {
   X(tie_break)                    \
   X(resilience)                   \
   X(flat)                         \
-  X(shed)
+  X(shed)                         \
+  X(coherence)
 
 /// One bool per ablation flag, all on by default (the full system).
 /// `ablation.<flag> = off` in a config file turns a subsystem off.
@@ -114,6 +115,13 @@ struct ScenarioConfig {
                               ///< capacities + parallel=on can make
                               ///< eviction order (and hence hit counts)
                               ///< nondeterministic — see docs/scenarios.md.
+  /// Query-cache replicas when `ablation.coherence` is on: the runner
+  /// builds a `ReplicatedQueryCache` with this many replicas kept
+  /// coherent by the log-based scheme (docs/coherence.md), serving each
+  /// query through replica `query_index % coherence_replicas` with an
+  /// inline consume step — deterministic, so the CSV contract holds.
+  /// 1 behaves like the single shared cache (same hits, same /vop).
+  size_t coherence_replicas = 1;
 
   // ---- Event windows ------------------------------------------------
   // Each is a fraction of `ops` occupied by the event, centered on the

@@ -19,6 +19,7 @@
 #include "preference/preference.h"
 #include "preference/profile.h"
 #include "preference/query_cache.h"
+#include "preference/replicated_query_cache.h"
 #include "storage/admission.h"
 #include "storage/profile_store.h"
 #include "storage/serving.h"
@@ -251,12 +252,35 @@ StatusOr<ScenarioResult> WorkloadRunner::Run(std::string_view variant) const {
 
   // cache=off: serve uncached. Retain-stale mode keeps superseded
   // entries so the resilient ladder's stale rung has something to find.
+  //
+  // coherence=on (the default): the cache is a ReplicatedQueryCache
+  // kept coherent by the log-based scheme — the store appends one
+  // invalidation record per publish instead of touching cache locks,
+  // and each query drains the log into its replica (inline consume)
+  // before serving through that replica's tree. Queries round-robin
+  // across `coherence_replicas` deterministically, so the CSV contract
+  // holds; with 1 replica the hit stream matches the single shared
+  // cache. coherence=off: the pre-log eager-invalidation wiring.
   std::optional<ContextQueryTree> cache;
+  std::optional<ReplicatedQueryCache> replicas;
   if (cfg.ablation.cache) {
-    cache.emplace(poi->env, Ordering::Identity(env.size()),
-                  cfg.cache_capacity);
-    cache->SetRetainStale(true);
-    store.AttachQueryCache(&*cache);
+    if (cfg.ablation.coherence) {
+      ReplicatedQueryCache::Options ropt;
+      ropt.num_replicas = cfg.coherence_replicas;
+      ropt.capacity_per_replica = cfg.cache_capacity;
+      // Retention matches the resilient ladder's default stale reach,
+      // so consume-step reclamation never drops an entry the stale
+      // rung could still serve.
+      ropt.staleness_window = storage::ServeOptions{}.max_stale_versions;
+      ropt.mode = ReplicatedQueryCache::ConsumeMode::kInlineAtLookup;
+      replicas.emplace(poi->env, Ordering::Identity(env.size()), ropt);
+      store.AttachCoherenceLog(&replicas->log());
+    } else {
+      cache.emplace(poi->env, Ordering::Identity(env.size()),
+                    cfg.cache_capacity);
+      cache->SetRetainStale(true);
+      store.AttachQueryCache(&*cache);
+    }
   }
   ContextQueryTree* cache_ptr = cache.has_value() ? &*cache : nullptr;
 
@@ -419,6 +443,11 @@ StatusOr<ScenarioResult> WorkloadRunner::Run(std::string_view variant) const {
         Status st = store.PublishProfile(uid, std::move(copy));
         if (!st.ok()) return st;
         if (cache_ptr != nullptr) cache_ptr->InvalidateAll();
+        if (replicas.has_value()) {
+          for (size_t r = 0; r < replicas->num_replicas(); ++r) {
+            replicas->replica(r).InvalidateAll();
+          }
+        }
       }
       continue;  // Updates ride the writer, not the serving queue.
     }
@@ -496,11 +525,24 @@ StatusOr<ScenarioResult> WorkloadRunner::Run(std::string_view variant) const {
     const bool doomed =
         deadline_at > 0 && start_service + cfg.service_micros > deadline_at;
 
+    // Replicated serving: queries round-robin across replicas; the
+    // inline consume step drains the coherence log into this replica
+    // (advancing its clock past every published version) before the
+    // serve reads through its tree — the harness-shaped form of
+    // ServeQueryReplicated's consume-then-gate flow, kept deterministic
+    // by indexing on the query count instead of the thread.
+    ContextQueryTree* qcache = cache_ptr;
+    if (replicas.has_value()) {
+      const size_t r = (res.queries - 1) % replicas->num_replicas();
+      replicas->Consume(r);
+      qcache = &replicas->replica(r);
+    }
+
     // Cache-stat deltas across this serve, for the hit-aware virtual
     // cost below. Per-query states are distinct, so the counts are
     // deterministic even with a worker pool.
     const CacheStats cache_before =
-        cache_ptr != nullptr ? cache_ptr->Stats() : CacheStats{};
+        qcache != nullptr ? qcache->Stats() : CacheStats{};
 
     const uint64_t q_start = MonotonicNanos();
     storage::ServedVia via = storage::ServedVia::kShed;
@@ -515,13 +557,20 @@ StatusOr<ScenarioResult> WorkloadRunner::Run(std::string_view variant) const {
       so.admission = &admission;
       so.truncated_top_k = cfg.top_k;
       StatusOr<storage::ServedQuery> served = storage::ServeQueryResilient(
-          store, uid, poi->relation, cq, cache_ptr, so);
+          store, uid, poi->relation, cq, qcache, so);
       if (served.ok()) {
         via = served->provenance.via;
         if (served->provenance.deadline_hit) ++res.deadline_hits;
         held = std::move(*served);
       } else if (served.status().IsUnavailable()) {
         via = storage::ServedVia::kShed;  // Fell off the ladder.
+        // The Unavailable status carries no provenance, so a request
+        // the deadline pushed off the whole ladder (doomed at the door,
+        // no stale entry, truncated rung aborted) would silently skip
+        // the deadline_hits column while the registry counter ticks —
+        // recover the fact from the deadline itself, which is still
+        // expired on the unchanged virtual clock.
+        if (so.query.deadline.Expired()) ++res.deadline_hits;
       } else {
         return served.status();
       }
@@ -529,7 +578,7 @@ StatusOr<ScenarioResult> WorkloadRunner::Run(std::string_view variant) const {
       // shed=off: no admission, no deadline — every request grinds
       // through a full evaluation even when its deadline has passed.
       StatusOr<storage::ServedQuery> served =
-          storage::ServeQuery(store, uid, poi->relation, cq, cache_ptr, base);
+          storage::ServeQuery(store, uid, poi->relation, cq, qcache, base);
       if (!served.ok()) return served.status();
       via = storage::ServedVia::kFresh;
       held = std::move(*served);
@@ -549,8 +598,8 @@ StatusOr<ScenarioResult> WorkloadRunner::Run(std::string_view variant) const {
     int64_t cost = cfg.degraded_service_micros;
     if (via == storage::ServedVia::kFresh) {
       cost = cfg.service_micros;
-      if (cache_ptr != nullptr && cfg.cache_hit_service_micros > 0) {
-        const CacheStats after = cache_ptr->Stats();
+      if (qcache != nullptr && cfg.cache_hit_service_micros > 0) {
+        const CacheStats after = qcache->Stats();
         const uint64_t lookups = after.lookups - cache_before.lookups;
         const uint64_t hits = after.hits - cache_before.hits;
         if (lookups > 0) {
@@ -624,6 +673,10 @@ StatusOr<ScenarioResult> WorkloadRunner::Run(std::string_view variant) const {
   res.virtual_micros = serve_clock.NowMicros() - t0;
   if (cache_ptr != nullptr) {
     const CacheStats stats = cache_ptr->Stats();
+    res.cache_hits = stats.hits;
+    res.cache_misses = stats.misses;
+  } else if (replicas.has_value()) {
+    const CacheStats stats = replicas->Stats();
     res.cache_hits = stats.hits;
     res.cache_misses = stats.misses;
   }

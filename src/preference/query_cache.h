@@ -176,6 +176,16 @@ class ContextQueryTree {
   /// lookups: readers holding entry snapshots keep them.
   size_t InvalidateUser(const std::string& user);
 
+  /// Drops `user`'s cached entries whose version tag is strictly below
+  /// `version`, leaving newer (and equal) entries in place — the
+  /// bounded-staleness form of `InvalidateUser` the log-based coherence
+  /// consumer applies: a record `{user, v}` with a retention window `w`
+  /// becomes `InvalidateUserBelow(user, v - w)`, so entries inside the
+  /// window survive for `LookupAtOrBefore` while everything older is
+  /// reclaimed. Returns the number of entries dropped (each counted as
+  /// an invalidation, not a miss).
+  size_t InvalidateUserBelow(const std::string& user, uint64_t version);
+
   /// Drops every cached entry of every user (counters are kept).
   void InvalidateAll();
 

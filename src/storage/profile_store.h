@@ -15,6 +15,10 @@
 #include "util/mutex.h"
 #include "util/status.h"
 
+namespace ctxpref {
+class CoherenceLog;
+}
+
 namespace ctxpref::storage {
 
 /// One immutable published version of a user's profile: the profile
@@ -202,6 +206,22 @@ class ProfileStore {
     return cache_.load(std::memory_order_acquire);
   }
 
+  /// Attaches a coherence log (`preference/replicated_query_cache.h`):
+  /// publishes and removals then *append* one invalidation record
+  /// instead of eagerly pruning an attached cache — the log-based
+  /// scheme replicated caches consume on their own schedule
+  /// (docs/coherence.md). When both a cache and a log are attached the
+  /// log wins: the writer takes no cache lock at all, and a directly
+  /// attached shared cache would go stale (version tags still make its
+  /// exact-match lookups miss). The log must outlive the store (or be
+  /// detached first); pass nullptr to detach.
+  void AttachCoherenceLog(CoherenceLog* log) {
+    coherence_log_.store(log, std::memory_order_release);
+  }
+  CoherenceLog* coherence_log() const {
+    return coherence_log_.load(std::memory_order_acquire);
+  }
+
   /// The store-wide serving-version counter's current value (the
   /// version of the most recent publish; 0 = nothing published yet).
   uint64_t serving_version() const {
@@ -263,6 +283,7 @@ class ProfileStore {
   /// Store-wide monotone serving version; see `ProfileSnapshot`.
   std::atomic<uint64_t> version_counter_{0};
   std::atomic<ContextQueryTree*> cache_{nullptr};
+  std::atomic<CoherenceLog*> coherence_log_{nullptr};
 };
 
 }  // namespace ctxpref::storage

@@ -1,5 +1,6 @@
 #include "storage/serving.h"
 
+#include "preference/replicated_query_cache.h"
 #include "preference/resolution.h"
 #include "util/metrics.h"
 
@@ -316,6 +317,46 @@ StatusOr<ServedQuery> ServeQueryResilient(const ProfileStore& store,
       AdmissionDecisionToString(provenance.admission) +
       (provenance.deadline_hit ? ", deadline expired" : "") +
       "), no degraded answer available");
+}
+
+StatusOr<ServedQuery> ServeQueryReplicated(const ProfileStore& store,
+                                           const std::string& user_id,
+                                           const db::Relation& relation,
+                                           const ContextualQuery& query,
+                                           ReplicatedQueryCache& replicas,
+                                           const QueryOptions& options,
+                                           AccessCounter* counter,
+                                           size_t replica) {
+  StatusOr<SnapshotPtr> snapshot = store.GetSnapshot(user_id);
+  if (!snapshot.ok()) return snapshot.status();
+  SnapshotPin pin(*snapshot);
+  const uint64_t pinned_version = pin->serving_version();
+
+  const size_t r =
+      replica == kAnyReplica ? replicas.ReplicaForThisThread() : replica;
+  if (replicas.options().mode ==
+      ReplicatedQueryCache::ConsumeMode::kInlineAtLookup) {
+    replicas.Consume(r);
+  }
+  // The coherence gate. `Covers` reads the clock with acquire, pairing
+  // with the consume step's release store: a covered replica has
+  // applied every invalidation record at or below the pinned version
+  // (modulo appends still in flight — harmless, their versions exceed
+  // any tag a hit could match; see docs/coherence.md).
+  ContextQueryTree* tree = nullptr;
+  if (replicas.Covers(r, pinned_version)) {
+    tree = &replicas.replica(r);
+  } else {
+    ReplicatedQueryCache::RecordStaleRefuse();
+  }
+  StatusOr<QueryResult> result =
+      ServeQuery(*pin, relation, query, tree, options, counter);
+  if (!result.ok()) return result.status();
+  ServingProvenance provenance;
+  provenance.via = ServedVia::kFresh;
+  provenance.served_version = pinned_version;
+  provenance.current_version = pinned_version;
+  return ServedQuery{std::move(*result), pin.snapshot(), provenance};
 }
 
 }  // namespace ctxpref::storage

@@ -15,6 +15,7 @@
 #include "preference/explain.h"
 #include "preference/profile_tree.h"
 #include "preference/query_cache.h"
+#include "preference/replicated_query_cache.h"
 #include "storage/admission.h"
 #include "storage/profile_store.h"
 #include "storage/serving.h"
@@ -196,6 +197,68 @@ TEST(ReadmeSnippetTest, ServingSnippetWorksAsAdvertised) {
   ASSERT_OK(
       storage::ServeQuery(store, "alice", relation, query, &cache).status());
   EXPECT_GT(cache.Stats().hits, hits_before);
+}
+
+TEST(ReadmeSnippetTest, ReplicatedCacheSnippetWorksAsAdvertised) {
+  // "Replicated query caches": the README's coherence-log flow —
+  // attach, publish-appends, serve through a replica, observe lag.
+  StatusOr<workload::PoiDatabase> poi = workload::MakePoiDatabase(60, 1);
+  ASSERT_OK(poi.status());
+  EnvironmentPtr env = poi->env;
+  const db::Relation& relation = poi->relation;
+
+  Profile profile(env);
+  StatusOr<CompositeDescriptor> cod = ParseCompositeDescriptor(
+      *env, "location = Plaka and temperature in {warm, hot}");
+  ASSERT_OK(cod.status());
+  StatusOr<ContextualPreference> pref = ContextualPreference::Create(
+      std::move(*cod),
+      {"name", db::CompareOp::kEq, db::Value("Acropolis")}, 0.8);
+  ASSERT_OK(pref.status());
+  ASSERT_OK(profile.Insert(std::move(*pref)));
+
+  ContextualQuery query;
+  StatusOr<CompositeDescriptor> qcod = ParseCompositeDescriptor(
+      *env, "location = Plaka and temperature = hot");
+  ASSERT_OK(qcod.status());
+  query.context = ExtendedDescriptor::FromComposite(std::move(*qcod));
+
+  // --- the README snippet, ASSERTs in place of *-deref ---
+  storage::ProfileStore store(env);
+  ReplicatedQueryCache::Options ropt;
+  ropt.num_replicas = 4;                   // one per serving thread
+  ReplicatedQueryCache replicas(env, Ordering::Identity(env->size()),
+                                ropt);
+  store.AttachCoherenceLog(&replicas.log());  // publishes append, not
+                                              // invalidate
+
+  ASSERT_OK(store.CreateUser("alice", std::move(profile)));
+
+  StatusOr<storage::ServedQuery> served = storage::ServeQueryReplicated(
+      store, "alice", relation, query, replicas);
+  ASSERT_OK(served.status());
+  EXPECT_EQ(served->snapshot->user_id(), "alice");
+
+  // Only the serving replica consumed inline; drain the rest.
+  replicas.ConsumeAll();
+  EXPECT_EQ(replicas.InvalidationLagVersions(), 0u);
+  // --- end snippet ---
+
+  // The inline consume covered the pinned version, so the serve
+  // populated this thread's replica: a second serve hits it.
+  const size_t r = replicas.ReplicaForThisThread();
+  EXPECT_TRUE(replicas.Covers(r, served->snapshot->serving_version()));
+  const uint64_t hits_before = replicas.Stats().hits;
+  ASSERT_OK(storage::ServeQueryReplicated(store, "alice", relation, query,
+                                          replicas)
+                .status());
+  EXPECT_GT(replicas.Stats().hits, hits_before);
+  // And a publish flows through the log, not the eager hook: the lag
+  // gauge closes again once the replicas consume.
+  ASSERT_OK(store.PublishProfile("alice", Profile(env)));
+  EXPECT_GT(replicas.log().max_appended(), 0u);
+  replicas.ConsumeAll();
+  EXPECT_EQ(replicas.InvalidationLagVersions(), 0u);
 }
 
 TEST(ReadmeSnippetTest, OverloadSnippetWorksAsAdvertised) {

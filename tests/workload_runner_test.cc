@@ -144,6 +144,116 @@ TEST(WorkloadRunnerTest, MigrationWindowRepublishesProfiles) {
   EXPECT_GT(result->migrations, 0u);
 }
 
+// ---- Replicated-cache coherence (docs/coherence.md) ----------------
+
+/// The committed scenarios/replica_coherence.cfg knobs, shrunk to unit
+/// size (the scenario-matrix CI job replays the committed file itself).
+ScenarioConfig CoherenceConfig() {
+  StatusOr<ScenarioConfig> cfg = ParseScenarioConfig(
+      "name = coherence_unit\n"
+      "users = 2\n"
+      "pois = 120\n"
+      "profile_size = 12\n"
+      "ops = 600\n"
+      "exact_fraction = 1.0\n"
+      "update_rate = 0.05\n"
+      "top_k = 5\n"
+      "coherence_replicas = 4\n"
+      "seed = 23\n");
+  EXPECT_TRUE(cfg.ok()) << cfg.status().ToString();
+  return *cfg;
+}
+
+TEST(WorkloadRunnerTest, CoherenceAblationIsResultTransparent) {
+  ScenarioConfig cfg = CoherenceConfig();
+  StatusOr<ScenarioResult> on = WorkloadRunner(cfg).Run("coherence_on");
+  cfg.ablation.coherence = false;
+  StatusOr<ScenarioResult> off = WorkloadRunner(cfg).Run("coherence_off");
+  ASSERT_TRUE(on.ok() && off.ok());
+  // Replicated caches + log consume must serve the same tuples as the
+  // eagerly invalidated shared cache...
+  EXPECT_EQ(on->result_crc, off->result_crc);
+  // ...while splitting the hit stream across 4 replicas (each replica
+  // must re-miss states the others already cached, so the aggregate
+  // hit count drops strictly below the shared cache's).
+  EXPECT_GT(on->cache_hits, 0u);
+  EXPECT_LT(on->cache_hits, off->cache_hits);
+  EXPECT_EQ(on->cache_hits + on->cache_misses,
+            off->cache_hits + off->cache_misses);
+}
+
+TEST(WorkloadRunnerTest, CoherenceSingleReplicaMatchesSharedCache) {
+  // One replica with inline consume is behaviorally the shared cache:
+  // same answers AND the same hit/miss stream (the log drains before
+  // every lookup, and retain-stale keeps the same entries alive).
+  ScenarioConfig cfg = CoherenceConfig();
+  cfg.coherence_replicas = 1;
+  StatusOr<ScenarioResult> on = WorkloadRunner(cfg).Run("coherence_on");
+  cfg.ablation.coherence = false;
+  StatusOr<ScenarioResult> off = WorkloadRunner(cfg).Run("coherence_off");
+  ASSERT_TRUE(on.ok() && off.ok());
+  EXPECT_EQ(on->result_crc, off->result_crc);
+  EXPECT_EQ(on->cache_hits, off->cache_hits);
+  EXPECT_EQ(on->cache_misses, off->cache_misses);
+}
+
+TEST(WorkloadRunnerTest, CoherenceRunIsDeterministic) {
+  const ScenarioConfig cfg = CoherenceConfig();
+  StatusOr<ScenarioResult> a = WorkloadRunner(cfg).Run();
+  StatusOr<ScenarioResult> b = WorkloadRunner(cfg).Run();
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->CsvRow(), b->CsvRow());
+}
+
+TEST(WorkloadRunnerTest, CoherenceReplicasKnobRoundTrips) {
+  ScenarioConfig cfg = CoherenceConfig();
+  cfg.coherence_replicas = 7;
+  StatusOr<ScenarioConfig> reparsed =
+      ParseScenarioConfig(FormatScenarioConfig(cfg));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->coherence_replicas, 7u);
+  EXPECT_TRUE(reparsed->ablation.coherence);
+}
+
+// ---- Shed/served accounting at the admission edge ------------------
+
+// Regression: a request whose deadline expires exactly at admission is
+// door-shed, and if the whole degradation ladder then falls through
+// (no cache for the stale rung, truncated rung aborted by the expired
+// deadline) the serve returns bare Unavailable with no provenance.
+// The runner used to drop such requests from `deadline_hits` (the
+// registry counter ticked while the CSV column stayed behind) — they
+// must count exactly once as shed AND as a deadline hit.
+TEST(WorkloadRunnerTest, DoomedAtAdmissionCountsShedAndDeadlineOnce) {
+  StatusOr<ScenarioConfig> parsed = ParseScenarioConfig(
+      "name = doomed\n"
+      "users = 2\n"
+      "pois = 120\n"
+      "profile_size = 20\n"
+      "ops = 300\n"
+      "arrival_rate_qps = 100000\n"  // Arrivals every 10 virtual us...
+      "deadline_micros = 100\n"      // ...each dead 100 us later...
+      "service_micros = 1000\n"      // ...long before a 1 ms serve.
+      "seed = 17\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ScenarioConfig cfg = *parsed;
+  cfg.ablation.cache = false;  // No cache: the stale rung cannot serve.
+  StatusOr<ScenarioResult> res = WorkloadRunner(cfg).Run();
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+
+  // Exactly-once accounting: every query lands in exactly one bucket.
+  EXPECT_EQ(res->served_fresh + res->served_stale + res->served_truncated +
+                res->served_shed,
+            res->queries);
+  // The backlog dooms requests at the door, and with no ladder rung
+  // able to answer they fall through to Unavailable...
+  EXPECT_GT(res->served_shed, 0u);
+  // ...and every such fall-off-the-ladder shed still records its
+  // deadline (the regression: this used to stay at 0).
+  EXPECT_GE(res->deadline_hits, res->served_shed);
+  EXPECT_LE(res->deadline_hits, res->queries);
+}
+
 TEST(WorkloadRunnerTest, CsvRowMatchesHeaderArity) {
   const ScenarioConfig cfg = SmallConfig();
   StatusOr<ScenarioResult> result = WorkloadRunner(cfg).Run();
